@@ -1,0 +1,89 @@
+// Shared plumbing for the paper-reproduction benches.
+//
+// Every bench accepts:
+//   --ops=N      operation budget per run (default: experiment-specific,
+//                scaled down from the paper's 3M/5M/10M so a laptop core
+//                finishes in seconds; shapes are preserved)
+//   --scale=F    multiply the default op budget by F (use --scale=75 or so
+//                to approach paper scale)
+//   --seed=S     simulation seed
+//   --csv        also dump rows as CSV (for plotting)
+// and prints the paper's table plus a paper-vs-measured footer.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/stale_model.h"
+#include "workload/runner.h"
+
+namespace harmony::bench {
+
+struct BenchArgs {
+  std::uint64_t ops;
+  std::uint64_t seed;
+  bool csv = false;
+  Config config;
+
+  static BenchArgs parse(int argc, char** argv, std::uint64_t default_ops) {
+    BenchArgs a{default_ops, 42, false, Config::from_args(argc, argv)};
+    const double scale = a.config.get_double("scale", 1.0);
+    a.ops = static_cast<std::uint64_t>(
+        static_cast<double>(a.config.get_int("ops", static_cast<std::int64_t>(
+                                                        default_ops))) *
+        scale);
+    if (a.ops < 1000) a.ops = 1000;
+    a.seed = static_cast<std::uint64_t>(a.config.get_int("seed", 42));
+    a.csv = a.config.get_bool("csv", false);
+    return a;
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& setup) {
+  std::printf("=== %s ===\n%s\n\n", title.c_str(), setup.c_str());
+}
+
+inline void print_table(const TextTable& table, bool csv) {
+  std::cout << table;
+  if (csv) std::cout << "\nCSV:\n" << table.to_csv();
+}
+
+/// paper-vs-measured footer line.
+inline void claim(const std::string& paper, const std::string& measured) {
+  std::printf("paper:    %s\nmeasured: %s\n\n", paper.c_str(), measured.c_str());
+}
+
+/// Fig. 1 estimate of the stale-read probability for a finished run, using
+/// the *paper's* coarse approximation: every write contends (system-wide
+/// rates) and the read position is uniform within the window. This is the
+/// number the paper reports when it says "N% of reads are estimated to be
+/// up-to-date" — print it next to the oracle ground truth.
+inline double paper_style_estimate(const workload::RunResult& r, int rf,
+                                   int read_replicas, int write_acks) {
+  core::StaleModelParams params;
+  params.lambda_w = r.duration_s > 0
+                        ? static_cast<double>(r.writes) / r.duration_s
+                        : 0.0;
+  params.write_acks = write_acks;
+  params.contention = 1.0;  // the paper's system-wide approximation
+  params.prop_delays_us = r.final_state.prop_delays_us;  // observed profile
+  while (params.prop_delays_us.size() < static_cast<std::size_t>(rf) &&
+         !params.prop_delays_us.empty()) {
+    params.prop_delays_us.push_back(params.prop_delays_us.back());
+  }
+  const core::StaleReadModel model(std::move(params));
+  const int k = std::min(read_replicas, model.replica_count());
+  return k >= 1 ? model.p_stale_uniform_window(k) : 0.0;
+}
+
+inline std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+}  // namespace harmony::bench

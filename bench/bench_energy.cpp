@@ -1,0 +1,74 @@
+// §V extension — power behaviour of consistency levels.
+//
+// The paper's first future-work direction: "analyze power consumption and
+// resources usage of the whole storage system considering different
+// consistency levels". This bench regenerates that study on the simulator:
+// per level, fleet utilization, average power draw, energy per operation and
+// the energy bill under the Grid'5000 (energy-billed) price book.
+#include "bench_common.h"
+
+#include "core/static_policy.h"
+#include "cost/energy.h"
+
+int main(int argc, char** argv) {
+  using namespace harmony;
+  const auto args = bench::BenchArgs::parse(argc, argv, 40'000);
+
+  auto base = [&] {
+    workload::RunConfig cfg;
+    cfg.cluster.node_count = 50;  // the paper's 50-node Grid'5000 setup
+    cfg.cluster.dc_count = 2;
+    cfg.cluster.rf = 5;
+    cfg.cluster.latency = net::TieredLatencyModel::grid5000_two_sites();
+    cfg.workload = workload::WorkloadSpec::heavy_read_update();
+    cfg.workload.op_count = args.ops;
+    cfg.workload.record_count =
+        static_cast<std::uint64_t>(args.config.get_int("records", 500));
+    cfg.workload.clients_per_dc =
+        static_cast<int>(args.config.get_int("clients", 24));
+    cfg.policy_tick = 200 * kMillisecond;
+    cfg.warmup = 600 * kMillisecond;
+    cfg.seed = args.seed;
+    cfg.price_book = cost::PriceBook::grid5000();
+    return cfg;
+  };
+
+  bench::print_header(
+      "§V power study — energy per consistency level",
+      "50 nodes / 2 sites, rf=5, heavy read-update, " + std::to_string(args.ops) +
+          " ops; linear-utilization power model, Grid'5000 energy tariff");
+
+  TextTable table({"level", "wall time", "avg watts", "kWh", "J/op",
+                   "energy bill", "throughput"});
+
+  const cost::PowerModel power;
+  std::vector<double> kwh;
+  for (const auto level : cluster::global_levels()) {
+    auto cfg = base();
+    cfg.label = cluster::to_string(level);
+    cfg.policy = core::static_level(level);
+    const auto r = workload::run_experiment(cfg);
+    const double watts =
+        r.total_wall_s > 0
+            ? r.energy_kwh * 1000.0 / (r.total_wall_s / 3600.0)
+            : 0.0;
+    const double joules_per_op =
+        r.ops ? r.energy_kwh * 3.6e6 / static_cast<double>(r.ops) : 0.0;
+    kwh.push_back(r.energy_kwh);
+    (void)power;
+    table.add_row({cluster::to_string(level),
+                   bench::fmt("%.2fs", r.total_wall_s),
+                   TextTable::num(watts, 0), bench::fmt("%.6f", r.energy_kwh),
+                   TextTable::num(joules_per_op, 1),
+                   TextTable::money(r.bill.energy),
+                   TextTable::num(r.throughput, 0)});
+  }
+  bench::print_table(table, args.csv);
+  std::printf("\n");
+  bench::claim(
+      "(future work) stronger consistency should consume more power: more "
+      "replica work per op and longer runtime for a fixed op budget",
+      "ALL consumes " + bench::fmt("%.1fx", kwh.back() / kwh.front()) +
+          " the energy of ONE for the same operation budget");
+  return 0;
+}

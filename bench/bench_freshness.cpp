@@ -1,0 +1,104 @@
+// §V extension — freshness-deadline guarantees.
+//
+// The paper's third future-work direction: "design and build an eventually
+// consistent system prototype that provides guarantees on the freshness of
+// data read ... with different levels of guarantees considering the network
+// performance and topology." The FreshnessSlaPolicy bounds the *age* of
+// returned data: P(staleness age > deadline) <= epsilon, choosing the
+// smallest replica count whose tail probability fits.
+//
+// This bench sweeps deadlines and guarantee strengths and reports the level
+// the policy settles on, the model's violation estimate, and the measured
+// staleness-age tail.
+#include "bench_common.h"
+
+#include "core/freshness_sla.h"
+#include "core/static_policy.h"
+
+int main(int argc, char** argv) {
+  using namespace harmony;
+  const auto args = bench::BenchArgs::parse(argc, argv, 30'000);
+
+  auto base = [&] {
+    workload::RunConfig cfg;
+    cfg.cluster.node_count = 10;
+    cfg.cluster.dc_count = 2;
+    cfg.cluster.rf = 5;
+    cfg.cluster.latency = net::TieredLatencyModel::grid5000_two_sites();
+    cfg.workload = workload::WorkloadSpec::heavy_read_update();
+    cfg.workload.op_count = args.ops;
+    cfg.workload.record_count = 300;
+    cfg.workload.clients_per_dc = 12;
+    cfg.policy_tick = 200 * kMillisecond;
+    cfg.warmup = 600 * kMillisecond;
+    cfg.seed = args.seed;
+    return cfg;
+  };
+
+  bench::print_header(
+      "§V freshness-deadline guarantees",
+      "10 nodes / 2 sites (9ms WAN), rf=5, heavy read-update, " +
+          std::to_string(args.ops) +
+          " ops; guarantee: P(age > deadline) <= epsilon");
+
+  TextTable table({"deadline", "epsilon", "avg replicas", "stale (oracle)",
+                   "age p95 (stale reads)", "age max", "deadline violations",
+                   "throughput"});
+
+  struct Sweep {
+    SimDuration deadline;
+    double epsilon;
+  };
+  const std::vector<Sweep> sweeps = {
+      {50 * kMillisecond, 0.01},  // loose: window < deadline, run weak
+      {10 * kMillisecond, 0.05},
+      {5 * kMillisecond, 0.02},
+      {2 * kMillisecond, 0.02},
+      {500, 0.01},                // sub-ms freshness: near-strong
+  };
+
+  for (const auto& sweep : sweeps) {
+    auto cfg = base();
+    core::FreshnessSlaOptions opt;
+    opt.deadline = sweep.deadline;
+    opt.epsilon = sweep.epsilon;
+    cfg.label = "freshness";
+    cfg.policy = core::freshness_sla_policy(opt);
+    const auto r = workload::run_experiment(cfg);
+
+    // Count measured deadline violations: stale reads older than the bound.
+    std::uint64_t violations = 0;
+    if (r.staleness_age.count() > 0 &&
+        r.staleness_age.max() > sweep.deadline) {
+      // Conservative bucket count from the age histogram.
+      for (int q = 100; q >= 1; --q) {
+        if (r.staleness_age.percentile(q) <= sweep.deadline) {
+          violations = r.staleness_age.count() * (100 - q) / 100;
+          break;
+        }
+      }
+      if (violations == 0) violations = 1;
+    }
+    const auto judged = r.stale_reads + r.fresh_reads;
+    const double violation_rate =
+        judged ? static_cast<double>(violations) / static_cast<double>(judged)
+               : 0.0;
+    table.add_row({format_duration(sweep.deadline),
+                   TextTable::pct(sweep.epsilon),
+                   TextTable::num(r.avg_read_replicas, 2),
+                   TextTable::pct(r.stale_fraction),
+                   format_duration(r.staleness_age.p95()),
+                   format_duration(r.staleness_age.max()),
+                   TextTable::pct(violation_rate, 2),
+                   TextTable::num(r.throughput, 0)});
+  }
+  bench::print_table(table, args.csv);
+  std::printf("\n");
+  bench::claim(
+      "(future work) an eventually consistent mode with freshness deadlines: "
+      "tighter deadlines / stronger guarantees escalate toward strong "
+      "consistency, loose deadlines keep eventual performance",
+      "replica count rises monotonically as the deadline tightens, and the "
+      "measured violation rate stays within epsilon for every row above");
+  return 0;
+}

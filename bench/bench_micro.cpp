@@ -1,0 +1,133 @@
+// Component microbenchmarks (google-benchmark): the substrate operations the
+// experiment harness leans on. These quantify simulator capacity — how many
+// simulated operations per real second a bench binary can push.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "cluster/token_ring.h"
+#include "common/distributions.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/stale_model.h"
+#include "ml/kmeans.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace harmony;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(1);
+  ZipfianKeys zipf(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.next(rng));
+}
+BENCHMARK(BM_ZipfianNext)->Arg(1000)->Arg(1'000'000);
+
+void BM_ScrambledZipfianNext(benchmark::State& state) {
+  Rng rng(1);
+  ScrambledZipfianKeys zipf(1'000'000);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.next(rng));
+}
+BENCHMARK(BM_ScrambledZipfianNext);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (auto _ : state) h.record(static_cast<SimDuration>(rng.exponential(2000)));
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_RingLookup(benchmark::State& state) {
+  const auto topo = net::Topology::balanced(84, 2);
+  cluster::TokenRing ring(topo, static_cast<int>(state.range(0)), 42);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.replicas_simple(rng.next(), 3));
+  }
+}
+BENCHMARK(BM_RingLookup)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RingLookupNts(benchmark::State& state) {
+  const auto topo = net::Topology::balanced(18, 2);
+  cluster::TokenRing ring(topo, 64, 42);
+  Rng rng(1);
+  const std::vector<int> rf_per_dc = {3, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.replicas_nts(rng.next(), rf_per_dc));
+  }
+}
+BENCHMARK(BM_RingLookupNts);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(i % 97, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_StaleModelEval(benchmark::State& state) {
+  core::StaleModelParams params;
+  params.lambda_w = 500;
+  params.prop_delays_us = {300, 700, 1100, 9000, 11000};
+  const core::StaleReadModel model(params);
+  for (auto _ : state) {
+    for (int k = 1; k <= 4; ++k) benchmark::DoNotOptimize(model.p_stale(k));
+  }
+}
+BENCHMARK(BM_StaleModelEval);
+
+void BM_KMeansFit(benchmark::State& state) {
+  Rng rng(7);
+  ml::FeatureMatrix x;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back({rng.normal(i % 3 * 10.0, 1.0), rng.normal(i % 3 * -5.0, 1.0)});
+  }
+  ml::KMeansOptions opt;
+  opt.k = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::kmeans(x, opt).inertia);
+  }
+}
+BENCHMARK(BM_KMeansFit);
+
+void BM_ClusterOps(benchmark::State& state) {
+  // End-to-end simulated read+write pair throughput of the cluster substrate
+  // (how many simulated ops one real second of benching covers).
+  sim::Simulation sim(1);
+  cluster::ClusterConfig cfg;
+  cfg.node_count = 10;
+  cfg.dc_count = 2;
+  cfg.rf = 3;
+  cluster::Cluster c(sim, cfg);
+  c.preload_range(1000, 1024);
+  Rng rng(3);
+  std::uint64_t done = 0;
+  for (auto _ : state) {
+    const cluster::Key key = rng.uniform_u64(1000);
+    c.client_write(0, key, 1024, cluster::resolve_count(1, 3),
+                   [&](const cluster::WriteResult&) { ++done; });
+    c.client_read(1, key, cluster::resolve_count(1, 3),
+                  [&](const cluster::ReadResult&) { ++done; });
+    sim.run();
+  }
+  benchmark::DoNotOptimize(done);
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_ClusterOps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// §V extension — cost-efficient storage provisioning under consistency,
+// performance and failure constraints.
+//
+// "We plan to provide an efficient mechanism that considers application and
+//  environment constraints such as the level of consistency or the presence
+//  of failing nodes. Accordingly, the quantity of additional storage nodes
+//  that reduce the bill is computed."
+#include "bench_common.h"
+
+#include "core/provisioner.h"
+
+int main(int argc, char** argv) {
+  using namespace harmony;
+  const auto args = bench::BenchArgs::parse(argc, argv, 0);
+
+  bench::print_header(
+      "§V provisioning — cheapest node count under constraints",
+      "demand x consistency level x tolerated failures -> node count and "
+      "monthly bill (EC2 2012 prices)");
+
+  core::StorageProvisioner provisioner;
+  TextTable table({"demand (ops/s)", "read level", "failures tolerated",
+                   "nodes", "monthly bill", "degraded capacity", "util@demand"});
+
+  for (const double demand : {5'000.0, 20'000.0, 50'000.0}) {
+    for (const int level : {1, 2, 3}) {
+      for (const int failures : {0, 1, 2}) {
+        core::ProvisioningRequest req;
+        req.demand_ops_per_s = demand;
+        req.read_replicas = level;
+        req.rf = 3;
+        req.tolerated_failures = failures;
+        req.dataset_gb = args.config.get_double("dataset_gb", 24.0);
+        const auto plan = provisioner.plan(req);
+        table.add_row({TextTable::num(demand, 0), std::to_string(level),
+                       std::to_string(failures),
+                       plan.feasible ? std::to_string(plan.nodes) : "infeasible",
+                       TextTable::money(plan.monthly_bill.total()),
+                       TextTable::num(plan.degraded_capacity_ops_per_s, 0),
+                       TextTable::pct(plan.utilization_at_demand)});
+      }
+    }
+  }
+  bench::print_table(table, args.csv);
+  std::printf("\n");
+
+  core::ProvisioningRequest weak, strong;
+  weak.read_replicas = 1;
+  strong.read_replicas = 3;
+  const auto weak_plan = provisioner.plan(weak);
+  const auto strong_plan = provisioner.plan(strong);
+  bench::claim(
+      "(future work) stronger consistency requirements should need more "
+      "nodes — and money — for the same demand",
+      "at 10k ops/s: level ONE needs " + std::to_string(weak_plan.nodes) +
+          " nodes ($" + bench::fmt("%.0f", weak_plan.monthly_bill.total()) +
+          "/mo), level THREE needs " + std::to_string(strong_plan.nodes) +
+          " nodes ($" + bench::fmt("%.0f", strong_plan.monthly_bill.total()) +
+          "/mo)");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Webshop scenario (paper §III-C): "a webshop application requires a
+// stronger consistency as reading stale data could lead to serious
+// consequences and a probable loss of client trust and/or money."
+//
+// A checkout-heavy shop on a 2-region deployment compares three strategies:
+//   - static eventual (fast, but sells phantom inventory),
+//   - static strong quorum (safe, but slow and expensive),
+//   - Harmony with a tight 5% tolerance (the paper's answer).
+// Stale reads here *are* oversells: each one is a cart acting on outdated
+// stock. The example prints an "oversold carts" figure to make it concrete.
+#include <cstdio>
+
+#include "common/config.h"
+#include "core/harmony.h"
+#include "core/static_policy.h"
+#include "workload/runner.h"
+
+namespace {
+
+harmony::workload::RunConfig shop_config(std::uint64_t ops, std::uint64_t seed) {
+  using namespace harmony;
+  workload::RunConfig cfg;
+  cfg.cluster.node_count = 12;
+  cfg.cluster.dc_count = 2;
+  cfg.cluster.rf = 5;  // inventory is precious: replicate widely
+  cfg.cluster.latency = net::TieredLatencyModel::grid5000_two_sites();
+  // Flash-sale shape: few hot products, heavy mixed read/update traffic.
+  cfg.workload = workload::WorkloadSpec::heavy_read_update();
+  cfg.workload.record_count = 200;  // the catalog's hot section
+  cfg.workload.op_count = ops;
+  cfg.workload.clients_per_dc = 12;
+  cfg.policy_tick = 200 * kMillisecond;
+  cfg.warmup = 500 * kMillisecond;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace harmony;
+  const Config options = Config::from_args(argc, argv);
+  const auto ops = static_cast<std::uint64_t>(options.get_int("ops", 30'000));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 7));
+
+  std::printf("webshop flash sale — 2 regions, rf=5, hot catalog of 200 items\n\n");
+  std::printf("%-22s %12s %12s %14s %12s\n", "strategy", "ops/s",
+              "read p95", "oversold carts", "avg replicas");
+
+  struct Strategy {
+    const char* name;
+    policy::PolicyFactory factory;
+  };
+  const Strategy strategies[] = {
+      {"eventual (ONE)", core::static_level(cluster::Level::kOne)},
+      {"strong (QUORUM)", core::static_level(cluster::Level::kQuorum)},
+      {"harmony (5% tol)", core::harmony_policy(0.05)},
+  };
+
+  for (const auto& s : strategies) {
+    auto cfg = shop_config(ops, seed);
+    cfg.label = s.name;
+    cfg.policy = s.factory;
+    const auto r = workload::run_experiment(cfg);
+    std::printf("%-22s %12.0f %12s %9llu/%llu %12.2f\n", s.name, r.throughput,
+                format_duration(r.read_latency.p95()).c_str(),
+                static_cast<unsigned long long>(r.stale_reads),
+                static_cast<unsigned long long>(r.stale_reads + r.fresh_reads),
+                r.avg_read_replicas);
+  }
+
+  std::printf(
+      "\nReading: every stale read is a cart that saw outdated stock. The\n"
+      "eventual strategy oversells; the strong strategy pays WAN latency on\n"
+      "every checkout; Harmony pays for replicas only while the sale is hot\n"
+      "enough to need them.\n");
+  return 0;
+}

@@ -1,0 +1,734 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace harmony::cluster {
+
+// ------------------------------------------------------------ config helpers
+
+std::vector<int> ClusterConfig::rf_per_dc() const {
+  std::vector<int> split(dc_count, rf / static_cast<int>(dc_count));
+  int rem = rf % static_cast<int>(dc_count);
+  for (std::size_t d = 0; d < dc_count && rem > 0; ++d, --rem) ++split[d];
+  return split;
+}
+
+int ClusterConfig::local_rf(net::DcId dc) const {
+  HARMONY_CHECK(dc < dc_count);
+  if (use_nts) return rf_per_dc()[dc];
+  // SimpleStrategy ignores DCs; replicas land proportionally to DC size.
+  // Callers only use this for estimators, so a proportional split is enough.
+  const double share = 1.0 / static_cast<double>(dc_count);
+  return std::max(1, static_cast<int>(rf * share + 0.5));
+}
+
+// ------------------------------------------------------------ pending state
+
+struct Cluster::PendingWrite {
+  Key key{};
+  VersionedValue value{};
+  SimTime start = 0;
+  net::DcId client_dc = 0;
+  net::NodeId coord = 0;
+  std::vector<net::NodeId> replicas;
+  int needed = 1;
+  bool local_only = false;
+  bool each_quorum = false;
+  std::vector<int> needed_per_dc;
+  std::vector<int> acks_per_dc;
+  int acks = 0;
+  int alive_targets = 0;
+  int completed_targets = 0;  ///< fan-out deliveries that ran (dead or alive)
+  std::vector<SimDuration> delays;
+  bool responded = false;
+  WriteCallback cb;
+  sim::EventHandle timeout;
+};
+
+struct Cluster::PendingRead {
+  Key key{};
+  SimTime start = 0;
+  net::DcId client_dc = 0;
+  net::NodeId coord = 0;
+  std::vector<net::NodeId> contacted;
+  std::vector<net::NodeId> all_replicas;
+  int needed = 1;
+  bool each_quorum = false;
+  std::vector<int> needed_per_dc;
+  std::vector<int> got_per_dc;
+  int responses = 0;
+  bool found = false;
+  VersionedValue best{};
+  std::vector<std::pair<net::NodeId, Version>> versions_seen;
+  bool responded = false;
+  ReadCallback cb;
+  sim::EventHandle timeout;
+};
+
+// ------------------------------------------------------------ construction
+
+namespace {
+net::Topology build_topology(const ClusterConfig& cfg) {
+  return net::Topology::balanced(cfg.node_count, cfg.dc_count);
+}
+}  // namespace
+
+Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
+    : sim_(&sim),
+      cfg_(std::move(cfg)),
+      topo_(build_topology(cfg_)),
+      latency_(cfg_.latency),
+      ring_(topo_, cfg_.vnodes_per_node, sim.seed() ^ 0xA5A5A5A5ULL),
+      rng_(sim.fork_rng(0xC1D2E3F4ULL)) {
+  HARMONY_CHECK(cfg_.rf >= 1);
+  HARMONY_CHECK(static_cast<std::size_t>(cfg_.rf) <= cfg_.node_count);
+  if (cfg_.use_nts) {
+    const auto split = cfg_.rf_per_dc();
+    for (std::size_t d = 0; d < split.size(); ++d) {
+      HARMONY_CHECK_MSG(
+          static_cast<std::size_t>(split[d]) <=
+              topo_.nodes_in_dc(static_cast<net::DcId>(d)).size(),
+          "NTS rf split exceeds a DC's node count");
+    }
+  }
+  nodes_.reserve(cfg_.node_count);
+  for (std::size_t i = 0; i < cfg_.node_count; ++i) {
+    nodes_.push_back(std::make_unique<Node>(
+        static_cast<net::NodeId>(i), cfg_.node,
+        sim.fork_rng(0x1000 + static_cast<std::uint64_t>(i))));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Node& Cluster::node(net::NodeId id) {
+  HARMONY_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+const Node& Cluster::node(net::NodeId id) const {
+  HARMONY_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+std::vector<net::NodeId> Cluster::replicas_for(Key key) const {
+  if (cfg_.use_nts) return ring_.replicas_nts(key, cfg_.rf_per_dc());
+  return ring_.replicas_simple(key, cfg_.rf);
+}
+
+void Cluster::preload_range(std::uint64_t count, std::uint32_t size) {
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const VersionedValue v{Version{0, ++write_seq_}, size};
+    for (const net::NodeId r : replicas_for(k)) nodes_[r]->load(k, v);
+  }
+}
+
+// ------------------------------------------------------------ link helpers
+
+net::NodeId Cluster::pick_coordinator(net::DcId dc, Rng& rng) {
+  auto pick_from = [&](const std::vector<net::NodeId>& candidates) -> int {
+    std::vector<net::NodeId> alive;
+    alive.reserve(candidates.size());
+    for (const net::NodeId n : candidates) {
+      if (nodes_[n]->alive()) alive.push_back(n);
+    }
+    if (alive.empty()) return -1;
+    return static_cast<int>(alive[rng.uniform_u64(alive.size())]);
+  };
+  int c = pick_from(topo_.nodes_in_dc(dc));
+  if (c >= 0) return static_cast<net::NodeId>(c);
+  std::vector<net::NodeId> all(topo_.node_count());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<net::NodeId>(i);
+  c = pick_from(all);
+  HARMONY_CHECK_MSG(c >= 0, "no alive node to coordinate");
+  return static_cast<net::NodeId>(c);
+}
+
+SimDuration Cluster::client_link_delay(Rng& rng) {
+  // Clients are homed in a DC; their link to the coordinator is a same-DC hop.
+  const auto& t = latency_.params().same_dc;
+  return static_cast<SimDuration>(
+      rng.lognormal_median(static_cast<double>(t.base), t.sigma));
+}
+
+SimDuration Cluster::link_delay(net::NodeId src, net::NodeId dst, Rng& rng) {
+  return latency_.sample(topo_, src, dst, rng);
+}
+
+void Cluster::account(net::NodeId src, net::NodeId dst, std::uint64_t bytes) {
+  net_stats_.record(net::classify(topo_, src, dst), bytes);
+}
+
+void Cluster::account_client(std::uint64_t bytes) {
+  net_stats_.record(net::LinkClass::kSameDc, bytes);
+}
+
+std::vector<net::NodeId> Cluster::order_for_read(
+    net::NodeId coord, const std::vector<net::NodeId>& replicas,
+    Rng& rng) const {
+  struct Ranked {
+    int rank;
+    std::uint64_t shuffle;
+    net::NodeId id;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(replicas.size());
+  for (const net::NodeId r : replicas) {
+    int rank = 0;
+    if (cfg_.closest_first_snitch) {
+      rank = static_cast<int>(net::classify(topo_, coord, r));
+    }
+    ranked.push_back({rank, rng.next(), r});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.shuffle < b.shuffle;
+  });
+  std::vector<net::NodeId> out;
+  out.reserve(ranked.size());
+  for (const auto& r : ranked) out.push_back(r.id);
+  return out;
+}
+
+// ------------------------------------------------------------ write path
+
+void Cluster::client_write(net::DcId client_dc, Key key, std::uint32_t size,
+                           ReplicaRequirement req, WriteCallback cb) {
+  const std::uint64_t id = next_id_++;
+  PendingWrite w;
+  w.key = key;
+  w.start = sim_->now();
+  w.value = VersionedValue{Version{sim_->now(), ++write_seq_}, size};
+  w.client_dc = client_dc;
+  w.needed = req.count;
+  w.local_only = req.local_only;
+  w.each_quorum = req.each_quorum;
+  w.cb = std::move(cb);
+  pending_writes_.emplace(id, std::move(w));
+
+  account_client(cfg_.message_overhead_bytes + size);
+  const SimDuration d = client_link_delay(rng_);
+  sim_->schedule(d, [this, id] { start_write(id); });
+}
+
+void Cluster::start_write(std::uint64_t id) {
+  auto it = pending_writes_.find(id);
+  if (it == pending_writes_.end()) return;
+  PendingWrite& w = it->second;
+
+  w.coord = pick_coordinator(w.client_dc, rng_);
+  Node& coord = *nodes_[w.coord];
+  const SimDuration coord_delay = coord.service(ServiceKind::kCoordinate, sim_->now());
+
+  w.replicas = replicas_for(w.key);
+  const auto split = cfg_.rf_per_dc();
+  if (w.each_quorum) {
+    w.needed_per_dc.assign(cfg_.dc_count, 0);
+    w.acks_per_dc.assign(cfg_.dc_count, 0);
+    for (std::size_t d = 0; d < cfg_.dc_count; ++d) {
+      if (split[d] > 0) w.needed_per_dc[d] = quorum_of(split[d]);
+    }
+  }
+
+  // Feasibility: can the alive replica set ever satisfy the requirement?
+  int alive_total = 0, alive_local = 0;
+  std::vector<int> alive_per_dc(cfg_.dc_count, 0);
+  for (const net::NodeId r : w.replicas) {
+    if (!nodes_[r]->alive()) continue;
+    ++alive_total;
+    ++alive_per_dc[topo_.dc_of(r)];
+    if (topo_.dc_of(r) == w.client_dc) ++alive_local;
+  }
+  bool feasible = true;
+  if (w.each_quorum) {
+    for (std::size_t d = 0; d < cfg_.dc_count; ++d) {
+      if (alive_per_dc[d] < w.needed_per_dc[d]) feasible = false;
+    }
+  } else if (w.local_only) {
+    feasible = alive_local >= w.needed;
+  } else {
+    feasible = alive_total >= w.needed;
+  }
+  if (!feasible) {
+    ++unavailable_;
+    const SimDuration back = coord_delay + client_link_delay(rng_);
+    account_client(cfg_.message_overhead_bytes);
+    auto cb = std::move(w.cb);
+    pending_writes_.erase(it);
+    sim_->schedule(back, [cb = std::move(cb)] { cb(WriteResult{false, kNoVersion}); });
+    return;
+  }
+
+  w.alive_targets = alive_total;
+  w.delays.reserve(w.replicas.size());
+
+  if (cfg_.anti_entropy_period > 0) {
+    dirty_keys_.insert(w.key);
+    if (!anti_entropy_scheduled_) {
+      anti_entropy_scheduled_ = true;
+      sim_->schedule(cfg_.anti_entropy_period, [this] { anti_entropy_sweep(); });
+    }
+  }
+
+  // Writes go to every replica; dead targets get hints (hinted handoff).
+  for (const net::NodeId r : w.replicas) {
+    if (!nodes_[r]->alive()) {
+      hints_.add(r, w.key, w.value);
+      continue;
+    }
+    account(w.coord, r, cfg_.message_overhead_bytes + w.value.size_bytes);
+    const SimDuration d = coord_delay + link_delay(w.coord, r, rng_);
+    sim_->schedule(d, [this, id, r] { replica_apply_write(id, r); });
+  }
+
+  w.timeout = sim_->schedule(cfg_.request_timeout, [this, id] {
+    auto t = pending_writes_.find(id);
+    if (t == pending_writes_.end() || t->second.responded) return;
+    ++timeouts_;
+    finish_write(id, false);
+  });
+}
+
+void Cluster::replica_apply_write(std::uint64_t id, net::NodeId replica) {
+  auto it = pending_writes_.find(id);
+  if (it == pending_writes_.end()) return;
+  PendingWrite& w = it->second;
+  Node& n = *nodes_[replica];
+  if (!n.alive()) {
+    // Died mid-flight: mutation lost (hint was only stored for known-dead
+    // targets). The lifecycle still completes.
+    ++w.completed_targets;
+    if (w.completed_targets == w.alive_targets) {
+      if (observer_ != nullptr) {
+        observer_->on_write_propagated(w.key, w.start, w.delays);
+      }
+      if (w.responded) pending_writes_.erase(it);
+    }
+    return;
+  }
+  const SimDuration svc = n.service(ServiceKind::kWrite, sim_->now());
+  ++replica_ops_;
+  const Key key = w.key;
+  const VersionedValue value = w.value;
+  const net::NodeId coord = w.coord;
+  sim_->schedule(svc, [this, id, replica, key, value, coord] {
+    nodes_[replica]->store().apply(key, value);
+    auto it2 = pending_writes_.find(id);
+    if (it2 == pending_writes_.end()) return;
+    const SimDuration apply_delay = sim_->now() - it2->second.start;
+    account(replica, coord, cfg_.message_overhead_bytes);
+    const SimDuration back = link_delay(replica, coord, rng_);
+    sim_->schedule(back, [this, id, replica, apply_delay] {
+      write_ack(id, replica, apply_delay);
+    });
+  });
+}
+
+void Cluster::write_ack(std::uint64_t id, net::NodeId replica,
+                        SimDuration apply_delay) {
+  auto it = pending_writes_.find(id);
+  if (it == pending_writes_.end()) return;
+  PendingWrite& w = it->second;
+
+  ++w.completed_targets;
+  w.delays.push_back(apply_delay);
+  const net::DcId dc = topo_.dc_of(replica);
+  ++w.acks;
+  if (w.each_quorum) ++w.acks_per_dc[dc];
+
+  bool met = false;
+  if (w.each_quorum) {
+    met = true;
+    for (std::size_t d = 0; d < cfg_.dc_count; ++d) {
+      if (w.acks_per_dc[d] < w.needed_per_dc[d]) met = false;
+    }
+  } else if (w.local_only) {
+    // local_only counts only acks from the client's DC.
+    if (w.acks_per_dc.empty()) w.acks_per_dc.assign(cfg_.dc_count, 0);
+    ++w.acks_per_dc[dc];
+    met = w.acks_per_dc[w.client_dc] >= w.needed;
+  } else {
+    met = w.acks >= w.needed;
+  }
+
+  // Report propagation completion before finish_write may erase the entry.
+  const bool propagation_done = w.completed_targets == w.alive_targets;
+  if (propagation_done && observer_ != nullptr) {
+    observer_->on_write_propagated(w.key, w.start, w.delays);
+  }
+
+  if (met && !w.responded) finish_write(id, true);
+
+  auto it2 = pending_writes_.find(id);
+  if (it2 == pending_writes_.end()) return;
+  if (propagation_done && it2->second.responded) pending_writes_.erase(it2);
+}
+
+void Cluster::finish_write(std::uint64_t id, bool ok) {
+  auto it = pending_writes_.find(id);
+  if (it == pending_writes_.end()) return;
+  PendingWrite& w = it->second;
+  w.responded = true;
+  w.timeout.cancel();
+  if (ok) oracle_.record_commit(w.key, w.value.version, sim_->now());
+  account_client(cfg_.message_overhead_bytes);
+  const SimDuration back = client_link_delay(rng_);
+  WriteResult result{ok, ok ? w.value.version : kNoVersion};
+  auto cb = w.cb;  // copy: pending may be erased before the callback runs
+  sim_->schedule(back, [cb, result] { cb(result); });
+  // Erase now only if propagation already completed; otherwise write_ack's
+  // lifecycle bookkeeping erases it.
+  if (w.completed_targets == w.alive_targets) pending_writes_.erase(it);
+}
+
+// ------------------------------------------------------------ read path
+
+void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
+                          ReadCallback cb) {
+  const std::uint64_t id = next_id_++;
+  PendingRead r;
+  r.key = key;
+  r.start = sim_->now();
+  r.client_dc = client_dc;
+  r.needed = req.count;
+  r.each_quorum = req.each_quorum;
+  r.cb = std::move(cb);
+  // local_only reads restrict the contact set; encode via needed_per_dc.
+  if (req.local_only) {
+    r.needed_per_dc.assign(cfg_.dc_count, 0);
+    r.needed_per_dc[client_dc] = req.count;
+  }
+  pending_reads_.emplace(id, std::move(r));
+
+  account_client(cfg_.message_overhead_bytes);
+  const SimDuration d = client_link_delay(rng_);
+  sim_->schedule(d, [this, id] { start_read(id); });
+}
+
+void Cluster::start_read(std::uint64_t id) {
+  auto it = pending_reads_.find(id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& r = it->second;
+
+  r.coord = pick_coordinator(r.client_dc, rng_);
+  Node& coord = *nodes_[r.coord];
+  const SimDuration coord_delay = coord.service(ServiceKind::kCoordinate, sim_->now());
+
+  r.all_replicas = replicas_for(r.key);
+  const std::vector<net::NodeId> ordered =
+      order_for_read(r.coord, r.all_replicas, rng_);
+
+  const auto split = cfg_.rf_per_dc();
+  const bool local_restricted = !r.needed_per_dc.empty() && !r.each_quorum;
+  if (r.each_quorum) {
+    r.needed_per_dc.assign(cfg_.dc_count, 0);
+    for (std::size_t d = 0; d < cfg_.dc_count; ++d) {
+      if (split[d] > 0) r.needed_per_dc[d] = quorum_of(split[d]);
+    }
+  }
+  r.got_per_dc.assign(cfg_.dc_count, 0);
+
+  // Choose the contact set among alive replicas.
+  std::vector<int> want_per_dc = r.needed_per_dc;
+  int want_global = (r.each_quorum || local_restricted) ? 0 : r.needed;
+  for (const net::NodeId n : ordered) {
+    if (!nodes_[n]->alive()) continue;
+    const net::DcId dc = topo_.dc_of(n);
+    if (r.each_quorum || local_restricted) {
+      if (want_per_dc[dc] > 0) {
+        r.contacted.push_back(n);
+        --want_per_dc[dc];
+      }
+    } else if (want_global > 0) {
+      r.contacted.push_back(n);
+      --want_global;
+    }
+  }
+  bool feasible = want_global == 0;
+  if (r.each_quorum || local_restricted) {
+    feasible = true;
+    for (int w : want_per_dc) {
+      if (w > 0) feasible = false;
+    }
+  }
+  if (!feasible || r.contacted.empty()) {
+    ++unavailable_;
+    account_client(cfg_.message_overhead_bytes);
+    const SimDuration back = coord_delay + client_link_delay(rng_);
+    auto cb = r.cb;
+    pending_reads_.erase(it);
+    sim_->schedule(back, [cb] { cb(ReadResult{}); });
+    return;
+  }
+  if (r.each_quorum) {
+    r.needed = static_cast<int>(r.contacted.size());
+  } else if (local_restricted) {
+    r.needed = std::min<int>(r.needed, static_cast<int>(r.contacted.size()));
+  }
+
+  const SimTime sent_at = sim_->now() + coord_delay;
+  for (std::size_t i = 0; i < r.contacted.size(); ++i) {
+    const net::NodeId replica = r.contacted[i];
+    const bool data_read = i == 0;  // first (closest) serves data, rest digests
+    account(r.coord, replica, cfg_.message_overhead_bytes);
+    const SimDuration d = coord_delay + link_delay(r.coord, replica, rng_);
+    sim_->schedule(d, [this, id, replica, data_read, sent_at] {
+      replica_serve_read(id, replica, data_read, sent_at);
+    });
+  }
+
+  r.timeout = sim_->schedule(cfg_.request_timeout, [this, id] {
+    auto t = pending_reads_.find(id);
+    if (t == pending_reads_.end() || t->second.responded) return;
+    ++timeouts_;
+    finish_read(id, false);
+  });
+}
+
+void Cluster::replica_serve_read(std::uint64_t id, net::NodeId replica,
+                                 bool data_read, SimTime sent_at) {
+  auto it = pending_reads_.find(id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& r = it->second;
+  Node& n = *nodes_[replica];
+  if (!n.alive()) return;  // no response; coordinator timeout handles it
+  const SimDuration svc =
+      n.service(data_read ? ServiceKind::kRead : ServiceKind::kDigest, sim_->now());
+  ++replica_ops_;
+  const Key key = r.key;
+  const net::NodeId coord = r.coord;
+  sim_->schedule(svc, [this, id, replica, key, coord, data_read, sent_at] {
+    const auto stored = nodes_[replica]->store().read(key);
+    const bool found = stored.has_value();
+    const VersionedValue value = found ? *stored : VersionedValue{};
+    const std::uint64_t bytes =
+        cfg_.message_overhead_bytes +
+        (data_read && found ? value.size_bytes : cfg_.digest_bytes);
+    account(replica, coord, bytes);
+    const SimDuration back = link_delay(replica, coord, rng_);
+    sim_->schedule(back, [this, id, replica, found, value, sent_at] {
+      const SimDuration rtt = sim_->now() - sent_at;
+      read_response(id, replica, found, value, rtt);
+    });
+  });
+}
+
+void Cluster::read_response(std::uint64_t id, net::NodeId replica, bool found,
+                            VersionedValue value, SimDuration rtt) {
+  if (observer_ != nullptr) {
+    // rtt here is service + return hop; add nothing for the request hop since
+    // the observer wants replica responsiveness, which this approximates.
+    const auto it0 = pending_reads_.find(id);
+    const bool cross = it0 != pending_reads_.end() &&
+                       !topo_.same_dc(it0->second.coord, replica);
+    observer_->on_replica_read_rtt(replica, rtt, cross);
+  }
+  auto it = pending_reads_.find(id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& r = it->second;
+  if (r.responded) return;
+
+  ++r.responses;
+  ++r.got_per_dc[topo_.dc_of(replica)];
+  if (found) {
+    r.versions_seen.emplace_back(replica, value.version);
+    if (!r.found || value.version.newer_than(r.best.version)) r.best = value;
+    r.found = true;
+  } else {
+    r.versions_seen.emplace_back(replica, kNoVersion);
+  }
+
+  bool met;
+  if (r.each_quorum) {
+    met = true;
+    for (std::size_t d = 0; d < cfg_.dc_count; ++d) {
+      if (r.got_per_dc[d] < (d < r.needed_per_dc.size() ? r.needed_per_dc[d] : 0)) {
+        met = false;
+      }
+    }
+  } else {
+    met = r.responses >= r.needed;
+  }
+  if (met) finish_read(id, true);
+}
+
+void Cluster::finish_read(std::uint64_t id, bool ok) {
+  auto it = pending_reads_.find(id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& r = it->second;
+  r.responded = true;
+  r.timeout.cancel();
+
+  ReadResult result;
+  result.ok = ok;
+  result.replicas_contacted = static_cast<int>(r.contacted.size());
+  if (ok) {
+    result.found = r.found;
+    if (r.found) {
+      result.version = r.best.version;
+      result.value_size = r.best.size_bytes;
+    }
+    // Read repair, contacted set: bring stale contacted replicas up to date.
+    if (r.found) {
+      for (const auto& [node_id, seen] : r.versions_seen) {
+        if (r.best.version.newer_than(seen)) {
+          send_repair(r.coord, node_id, r.key, r.best);
+        }
+      }
+      // Global read repair: with configured chance also push to replicas we
+      // did not contact (their versions are unknown; LWW makes it idempotent).
+      if (cfg_.read_repair_chance > 0 && rng_.chance(cfg_.read_repair_chance)) {
+        for (const net::NodeId n : r.all_replicas) {
+          const bool contacted =
+              std::find(r.contacted.begin(), r.contacted.end(), n) !=
+              r.contacted.end();
+          if (!contacted && nodes_[n]->alive()) {
+            send_repair(r.coord, n, r.key, r.best);
+          }
+        }
+      }
+    }
+  }
+
+  account_client(cfg_.message_overhead_bytes +
+                 (result.found ? result.value_size : 0));
+  const SimDuration back = client_link_delay(rng_);
+  const Key key = r.key;
+  const SimTime started = r.start;
+  const Version returned = result.found ? result.version : kNoVersion;
+  auto cb = r.cb;
+  pending_reads_.erase(it);
+  sim_->schedule(back, [this, cb, result, key, started, returned]() mutable {
+    if (result.ok) {
+      const auto judgement = oracle_.judge(key, returned, started);
+      result.stale = judgement.stale;
+      result.staleness_age = judgement.age;
+    }
+    cb(result);
+  });
+}
+
+void Cluster::send_repair(net::NodeId coord, net::NodeId target, Key key,
+                          const VersionedValue& value) {
+  ++read_repairs_;
+  account(coord, target, cfg_.message_overhead_bytes + value.size_bytes);
+  const SimDuration d = link_delay(coord, target, rng_);
+  sim_->schedule(d, [this, target, key, value] {
+    Node& n = *nodes_[target];
+    if (!n.alive()) return;
+    const SimDuration svc = n.service(ServiceKind::kWrite, sim_->now());
+    ++replica_ops_;
+    sim_->schedule(svc, [this, target, key, value] {
+      nodes_[target]->store().apply(key, value);
+    });
+  });
+}
+
+// ------------------------------------------------------------ failures
+
+void Cluster::kill_node(net::NodeId id) {
+  HARMONY_CHECK(id < nodes_.size());
+  nodes_[id]->set_alive(false);
+}
+
+void Cluster::revive_node(net::NodeId id) {
+  HARMONY_CHECK(id < nodes_.size());
+  if (nodes_[id]->alive()) return;
+  nodes_[id]->set_alive(true);
+  replay_hints(id);
+}
+
+void Cluster::replay_hints(net::NodeId target) {
+  auto hints = hints_.take(target);
+  // Paced replay: one mutation per 200us, as a hint queue drain would be.
+  SimDuration delay = 0;
+  for (auto& h : hints) {
+    delay += usec(200);
+    account(target, target, cfg_.message_overhead_bytes + h.value.size_bytes);
+    sim_->schedule(delay, [this, target, h] {
+      Node& n = *nodes_[target];
+      if (!n.alive()) {
+        hints_.add(target, h.key, h.value);  // went down again: re-hint
+        return;
+      }
+      n.service(ServiceKind::kWrite, sim_->now());
+      ++replica_ops_;
+      n.store().apply(h.key, h.value);
+    });
+  }
+}
+
+void Cluster::anti_entropy_sweep() {
+  // Repair the keys written since the last sweep: compare every replica's
+  // stored version and push the newest to stragglers. Messaging costs are
+  // charged like regular repairs (digest per replica + repair writes).
+  anti_entropy_scheduled_ = false;
+  std::size_t repaired = 0;
+  auto it = dirty_keys_.begin();
+  while (it != dirty_keys_.end() &&
+         repaired < cfg_.anti_entropy_keys_per_round) {
+    const Key key = *it;
+    it = dirty_keys_.erase(it);
+    ++repaired;
+
+    const auto replicas = replicas_for(key);
+    Version newest = kNoVersion;
+    std::uint32_t newest_size = 0;
+    for (const net::NodeId r : replicas) {
+      if (!nodes_[r]->alive()) continue;
+      const auto v = nodes_[r]->store().read(key);
+      ++replica_ops_;
+      account(replicas.front(), r, cfg_.message_overhead_bytes + cfg_.digest_bytes);
+      if (v.has_value() && v->version.newer_than(newest)) {
+        newest = v->version;
+        newest_size = v->size_bytes;
+      }
+    }
+    if (newest == kNoVersion) continue;
+    for (const net::NodeId r : replicas) {
+      if (!nodes_[r]->alive()) continue;
+      const auto v = nodes_[r]->store().read(key);
+      if (!v.has_value() || newest.newer_than(v->version)) {
+        ++anti_entropy_repairs_;
+        send_repair(replicas.front(), r, key,
+                    VersionedValue{newest, newest_size});
+      }
+    }
+  }
+  if (!dirty_keys_.empty() && !anti_entropy_scheduled_) {
+    anti_entropy_scheduled_ = true;
+    sim_->schedule(cfg_.anti_entropy_period, [this] { anti_entropy_sweep(); });
+  }
+}
+
+std::size_t Cluster::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node->alive()) ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------ accounting
+
+std::uint64_t Cluster::storage_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->store().stored_bytes();
+  return total;
+}
+
+SimDuration Cluster::total_busy_time() const {
+  SimDuration total = 0;
+  for (const auto& n : nodes_) total += n->busy_time();
+  return total;
+}
+
+double Cluster::disk_io() const {
+  double total = 0;
+  for (const auto& n : nodes_) total += n->disk_io();
+  return total;
+}
+
+}  // namespace harmony::cluster

@@ -1,0 +1,228 @@
+// The replicated key-value store: a Cassandra-style cluster simulated on the
+// discrete-event kernel.
+//
+// Faithful mechanisms (the ones the paper's results depend on):
+//   * coordinator-per-request: clients contact a node in their own DC, which
+//     fans out to replicas chosen by the token ring;
+//   * writes always go to ALL replicas; the consistency level only decides how
+//     many acks the client waits for — the remainder propagate asynchronously,
+//     opening the stale-read window of Fig. 1;
+//   * reads contact exactly `required` replicas (one data read + digests) and
+//     return the newest version among responses (timestamp LWW);
+//   * read repair (contacted-set always; whole-replica-set with a configured
+//     chance), hinted handoff for writes to down nodes, request timeouts;
+//   * node service queues, so load inflates propagation delay and staleness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/consistency.h"
+#include "cluster/hinted_handoff.h"
+#include "cluster/node.h"
+#include "cluster/staleness_oracle.h"
+#include "cluster/token_ring.h"
+#include "cluster/versioned_value.h"
+#include "net/latency_model.h"
+#include "net/net_stats.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace harmony::cluster {
+
+/// Hooks the monitoring module attaches to. Callbacks run inside the
+/// simulation loop; implementations must be cheap and must not re-enter the
+/// cluster API.
+class ClusterObserver {
+ public:
+  virtual ~ClusterObserver() = default;
+  /// Every live replica has applied this write. `replica_delays` holds, per
+  /// replica (unsorted), apply_time - write_start. Harmony's estimator reads
+  /// its T / t_j inputs from these.
+  virtual void on_write_propagated(Key key, SimTime write_start,
+                                   const std::vector<SimDuration>& replica_delays) {
+    (void)key; (void)write_start; (void)replica_delays;
+  }
+  /// A replica answered a coordinator-issued read (data or digest).
+  virtual void on_replica_read_rtt(net::NodeId replica, SimDuration rtt,
+                                   bool cross_dc) {
+    (void)replica; (void)rtt; (void)cross_dc;
+  }
+};
+
+struct ClusterConfig {
+  std::size_t node_count = 10;
+  std::size_t dc_count = 2;
+  int rf = 3;
+  /// true: NetworkTopologyStrategy (rf split across DCs, first DCs get the
+  /// remainder); false: SimpleStrategy (ring order, DC-oblivious).
+  bool use_nts = true;
+  int vnodes_per_node = 8;
+  net::TieredLatencyModel::Params latency{};
+  NodeParams node{};
+  /// Chance that a read additionally repairs replicas it did not contact
+  /// (Cassandra's global read repair). Contacted stale replicas are always
+  /// repaired.
+  double read_repair_chance = 0.05;
+  SimDuration request_timeout = sec(2);
+  /// true: snitch orders read replicas nearest-first (Cassandra default);
+  /// false: uniform shuffle (spreads load, worsens staleness).
+  bool closest_first_snitch = true;
+  std::uint32_t message_overhead_bytes = 64;
+  std::uint32_t digest_bytes = 16;
+
+  /// Anti-entropy: every period, repair the keys written since the last
+  /// sweep (digest reads on every replica, then LWW repair of stale ones).
+  /// 0 disables (read repair + hints remain the only convergence paths).
+  SimDuration anti_entropy_period = 0;
+  /// Cap on keys repaired per sweep (bounds repair burst size).
+  std::size_t anti_entropy_keys_per_round = 512;
+
+  /// rf split per DC under NTS (first DCs take the remainder).
+  std::vector<int> rf_per_dc() const;
+  /// Replication factor inside `dc` (rf when SimpleStrategy, split when NTS).
+  int local_rf(net::DcId dc) const;
+};
+
+struct ReadResult {
+  bool ok = false;       ///< required responses arrived in time
+  bool found = false;    ///< any contacted replica had the key
+  Version version = kNoVersion;
+  std::uint32_t value_size = 0;
+  int replicas_contacted = 0;
+  bool stale = false;            ///< oracle ground truth
+  SimDuration staleness_age = 0; ///< oracle ground truth (0 when fresh)
+};
+
+struct WriteResult {
+  bool ok = false;
+  Version version = kNoVersion;
+};
+
+using ReadCallback = std::function<void(const ReadResult&)>;
+using WriteCallback = std::function<void(const WriteResult&)>;
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, ClusterConfig cfg);
+  ~Cluster();  // out-of-line: pending-request types are private to the .cpp
+
+  // Non-copyable: owns simulation entities.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Instantly install `count` keys of `size` bytes on their replicas
+  /// (dataset load; bypasses messaging and the oracle).
+  void preload_range(std::uint64_t count, std::uint32_t size);
+
+  /// Issue a client read from a client homed in `client_dc`. The callback
+  /// fires when the response reaches the client (or the request times out).
+  void client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
+                   ReadCallback cb);
+
+  /// Issue a client write (value of `size` bytes) from `client_dc`.
+  void client_write(net::DcId client_dc, Key key, std::uint32_t size,
+                    ReplicaRequirement req, WriteCallback cb);
+
+  // ---- failure injection -------------------------------------------------
+  void kill_node(net::NodeId id);
+  void revive_node(net::NodeId id);
+  std::size_t alive_count() const;
+
+  // ---- introspection -----------------------------------------------------
+  const net::Topology& topology() const { return topo_; }
+  const ClusterConfig& config() const { return cfg_; }
+  const TokenRing& ring() const { return ring_; }
+  StalenessOracle& oracle() { return oracle_; }
+  const StalenessOracle& oracle() const { return oracle_; }
+  const net::NetStats& net_stats() const { return net_stats_; }
+  const HintStore& hints() const { return hints_; }
+  Node& node(net::NodeId id);
+  const Node& node(net::NodeId id) const;
+
+  std::vector<net::NodeId> replicas_for(Key key) const;
+
+  std::uint64_t storage_bytes() const;
+  /// Replica-level storage operations served (reads+digests+writes).
+  std::uint64_t replica_ops() const { return replica_ops_; }
+  /// Billed block-device I/O requests across all nodes (cache-miss reads and
+  /// amortized commit-log flushes; memtable hits are free).
+  double disk_io() const;
+  SimDuration total_busy_time() const;
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t unavailable() const { return unavailable_; }
+  std::uint64_t read_repairs_sent() const { return read_repairs_; }
+  std::uint64_t anti_entropy_repairs() const { return anti_entropy_repairs_; }
+  std::size_t anti_entropy_backlog() const { return dirty_keys_.size(); }
+
+  void set_observer(ClusterObserver* observer) { observer_ = observer; }
+
+  sim::Simulation& simulation() { return *sim_; }
+
+ private:
+  struct PendingWrite;
+  struct PendingRead;
+
+  net::NodeId pick_coordinator(net::DcId dc, Rng& rng);
+  SimDuration client_link_delay(Rng& rng);
+  SimDuration link_delay(net::NodeId src, net::NodeId dst, Rng& rng);
+  void account(net::NodeId src, net::NodeId dst, std::uint64_t bytes);
+  void account_client(std::uint64_t bytes);
+
+  /// Order candidate read replicas for a coordinator (snitch).
+  std::vector<net::NodeId> order_for_read(net::NodeId coord,
+                                          const std::vector<net::NodeId>& replicas,
+                                          Rng& rng) const;
+
+  void start_write(std::uint64_t id);
+  void replica_apply_write(std::uint64_t id, net::NodeId replica);
+  void write_ack(std::uint64_t id, net::NodeId replica, SimDuration apply_delay);
+  void finish_write(std::uint64_t id, bool ok);
+
+  void start_read(std::uint64_t id);
+  void replica_serve_read(std::uint64_t id, net::NodeId replica, bool data_read,
+                          SimTime sent_at);
+  void read_response(std::uint64_t id, net::NodeId replica, bool found,
+                     VersionedValue value, SimDuration rtt);
+  void finish_read(std::uint64_t id, bool ok);
+  void send_repair(net::NodeId coord, net::NodeId target, Key key,
+                   const VersionedValue& value);
+
+  void replay_hints(net::NodeId target);
+  void anti_entropy_sweep();
+
+  sim::Simulation* sim_;
+  ClusterConfig cfg_;
+  net::Topology topo_;
+  net::TieredLatencyModel latency_;
+  TokenRing ring_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  StalenessOracle oracle_;
+  HintStore hints_;
+  net::NetStats net_stats_;
+  ClusterObserver* observer_ = nullptr;
+
+  Rng rng_;               // coordinator choice, snitch shuffles, link jitter
+  std::uint64_t next_id_ = 1;
+  std::uint64_t write_seq_ = 0;
+  std::uint64_t replica_ops_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t unavailable_ = 0;
+  std::uint64_t read_repairs_ = 0;
+  std::uint64_t anti_entropy_repairs_ = 0;
+
+  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_;
+  std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+
+  // Anti-entropy state: keys mutated since the last sweep. The sweep is
+  // scheduled lazily (only while dirty keys exist) so an idle cluster's
+  // event queue drains.
+  std::unordered_set<Key> dirty_keys_;
+  bool anti_entropy_scheduled_ = false;
+};
+
+}  // namespace harmony::cluster

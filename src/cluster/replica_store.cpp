@@ -1,0 +1,39 @@
+#include "cluster/replica_store.h"
+
+namespace harmony::cluster {
+
+bool ReplicaStore::apply(Key key, const VersionedValue& value) {
+  auto [it, inserted] = map_.try_emplace(key, value);
+  if (inserted) {
+    stored_bytes_ += value.size_bytes;
+    ++writes_applied_;
+    return true;
+  }
+  if (value.version.newer_than(it->second.version)) {
+    stored_bytes_ += value.size_bytes;
+    stored_bytes_ -= it->second.size_bytes;
+    it->second = value;
+    ++writes_applied_;
+    return true;
+  }
+  // Older than what we have: LWW drops it (Cassandra reconciliation).
+  ++writes_superseded_;
+  return false;
+}
+
+std::optional<VersionedValue> ReplicaStore::read(Key key) const {
+  ++reads_;
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ReplicaStore::clear() {
+  map_.clear();
+  stored_bytes_ = 0;
+  reads_ = 0;
+  writes_applied_ = 0;
+  writes_superseded_ = 0;
+}
+
+}  // namespace harmony::cluster

@@ -1,0 +1,40 @@
+// Per-node key/value storage with last-write-wins reconciliation.
+//
+// Values are metadata-only (version + size): the experiments measure
+// consistency, latency and cost, none of which depend on payload bytes, and
+// dropping payloads lets a laptop-scale simulation carry millions of keys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "cluster/versioned_value.h"
+
+namespace harmony::cluster {
+
+class ReplicaStore {
+ public:
+  /// LWW-apply a write; returns true if it superseded the stored version.
+  bool apply(Key key, const VersionedValue& value);
+
+  std::optional<VersionedValue> read(Key key) const;
+
+  std::size_t key_count() const { return map_.size(); }
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes_applied() const { return writes_applied_; }
+  std::uint64_t writes_superseded() const { return writes_superseded_; }
+
+  void clear();
+
+ private:
+  std::unordered_map<Key, VersionedValue> map_;
+  std::uint64_t stored_bytes_ = 0;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_applied_ = 0;
+  std::uint64_t writes_superseded_ = 0;
+};
+
+}  // namespace harmony::cluster

@@ -1,0 +1,50 @@
+#include "cluster/staleness_oracle.h"
+
+namespace harmony::cluster {
+
+void StalenessOracle::record_commit(Key key, const Version& version,
+                                    SimTime commit_time) {
+  auto& q = commits_[key];
+  q.push_back({commit_time, version});
+  // Commits arrive in commit-time order by construction (simulation time is
+  // monotone), so pruning from the front keeps the newest history.
+  while (q.size() > kMaxPerKey) q.pop_front();
+}
+
+StalenessOracle::Judgement StalenessOracle::judge(Key key,
+                                                  const Version& returned,
+                                                  SimTime read_start) {
+  Judgement j;
+  const auto it = commits_.find(key);
+  if (it == commits_.end()) {
+    ++fresh_;  // nothing ever committed: any answer is fresh
+    return j;
+  }
+  // Latest version committed strictly before the read started. Versions are
+  // not guaranteed monotone in commit order (two concurrent writes may commit
+  // out of timestamp order), so scan for the max.
+  Version latest = kNoVersion;
+  for (const auto& c : it->second) {
+    if (c.commit_time <= read_start && c.version.newer_than(latest)) {
+      latest = c.version;
+    }
+  }
+  if (latest.newer_than(returned)) {
+    j.stale = true;
+    j.age = latest.timestamp - returned.timestamp;
+    if (j.age < 0) j.age = 0;
+    ++stale_;
+    age_hist_.record(j.age);
+  } else {
+    ++fresh_;
+  }
+  return j;
+}
+
+void StalenessOracle::reset_counters() {
+  fresh_ = 0;
+  stale_ = 0;
+  age_hist_.reset();
+}
+
+}  // namespace harmony::cluster

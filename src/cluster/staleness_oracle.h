@@ -1,0 +1,61 @@
+// Ground-truth staleness tracking.
+//
+// The paper estimates stale reads probabilistically; the simulator can *know*.
+// The oracle watches every acknowledged write and judges every completed read:
+// a read is stale iff some write that committed before the read started has a
+// newer version than the one returned. It also measures the *staleness age*
+// (how far behind the returned value was), which the freshness-deadline
+// extension (§V) builds on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "cluster/versioned_value.h"
+#include "common/histogram.h"
+
+namespace harmony::cluster {
+
+class StalenessOracle {
+ public:
+  /// A write reached its client-visible commit point (required acks met).
+  void record_commit(Key key, const Version& version, SimTime commit_time);
+
+  struct Judgement {
+    bool stale = false;
+    /// timestamp(latest committed) - timestamp(returned); 0 when fresh.
+    SimDuration age = 0;
+  };
+
+  /// Judge a completed read that started at `read_start` and returned
+  /// `returned` (kNoVersion if the key was missing everywhere contacted).
+  Judgement judge(Key key, const Version& returned, SimTime read_start);
+
+  std::uint64_t fresh_reads() const { return fresh_; }
+  std::uint64_t stale_reads() const { return stale_; }
+  std::uint64_t judged_reads() const { return fresh_ + stale_; }
+  double stale_fraction() const {
+    const auto n = judged_reads();
+    return n ? static_cast<double>(stale_) / static_cast<double>(n) : 0.0;
+  }
+  /// Distribution of staleness ages over *stale* reads.
+  const LatencyHistogram& staleness_age() const { return age_hist_; }
+
+  void reset_counters();
+
+ private:
+  struct Commit {
+    SimTime commit_time;
+    Version version;
+  };
+  // Per key: recent commits ordered by commit_time. Pruned so that only the
+  // newest version older than any plausible in-flight read is retained.
+  std::unordered_map<Key, std::deque<Commit>> commits_;
+  std::uint64_t fresh_ = 0, stale_ = 0;
+  LatencyHistogram age_hist_;
+
+  static constexpr std::size_t kMaxPerKey = 16;
+};
+
+}  // namespace harmony::cluster

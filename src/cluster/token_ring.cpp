@@ -1,0 +1,101 @@
+#include "cluster/token_ring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace harmony::cluster {
+
+TokenRing::TokenRing(const net::Topology& topo, int vnodes_per_node,
+                     std::uint64_t seed)
+    : topo_(&topo) {
+  HARMONY_CHECK(vnodes_per_node >= 1);
+  HARMONY_CHECK(topo.node_count() >= 1);
+  ring_.reserve(topo.node_count() * static_cast<std::size_t>(vnodes_per_node));
+  for (const auto& n : topo.nodes()) {
+    for (int v = 0; v < vnodes_per_node; ++v) {
+      // Deterministic, well-scattered tokens per (seed, node, vnode).
+      const std::uint64_t token =
+          mix64(seed ^ (static_cast<std::uint64_t>(n.id) * 0x9E3779B97F4A7C15ULL) ^
+                (static_cast<std::uint64_t>(v) + 0xD1B54A32D192ED03ULL));
+      ring_.push_back({token, n.id});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const VNode& a, const VNode& b) { return a.token < b.token; });
+}
+
+std::uint64_t TokenRing::token_for(Key key) { return mix64(key); }
+
+std::size_t TokenRing::first_at_or_after(std::uint64_t token) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), token,
+      [](const VNode& v, std::uint64_t t) { return v.token < t; });
+  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::vector<net::NodeId> TokenRing::replicas_simple(Key key, int rf) const {
+  HARMONY_CHECK(rf >= 1);
+  HARMONY_CHECK_MSG(static_cast<std::size_t>(rf) <= topo_->node_count(),
+                    "rf exceeds node count");
+  std::vector<net::NodeId> out;
+  out.reserve(static_cast<std::size_t>(rf));
+  std::size_t i = first_at_or_after(token_for(key));
+  for (std::size_t walked = 0;
+       walked < ring_.size() && out.size() < static_cast<std::size_t>(rf);
+       ++walked, i = (i + 1) % ring_.size()) {
+    const net::NodeId n = ring_[i].node;
+    if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+  }
+  HARMONY_CHECK(out.size() == static_cast<std::size_t>(rf));
+  return out;
+}
+
+std::vector<net::NodeId> TokenRing::replicas_nts(
+    Key key, const std::vector<int>& rf_per_dc) const {
+  HARMONY_CHECK(rf_per_dc.size() == topo_->dc_count());
+  std::vector<int> wanted = rf_per_dc;
+  for (std::size_t d = 0; d < wanted.size(); ++d) {
+    HARMONY_CHECK_MSG(
+        static_cast<std::size_t>(wanted[d]) <=
+            topo_->nodes_in_dc(static_cast<net::DcId>(d)).size(),
+        "per-DC rf exceeds DC size");
+  }
+  int remaining = 0;
+  for (int w : wanted) remaining += w;
+  std::vector<net::NodeId> out;
+  out.reserve(static_cast<std::size_t>(remaining));
+  std::size_t i = first_at_or_after(token_for(key));
+  for (std::size_t walked = 0; walked < ring_.size() && remaining > 0;
+       ++walked, i = (i + 1) % ring_.size()) {
+    const net::NodeId n = ring_[i].node;
+    const net::DcId dc = topo_->dc_of(n);
+    if (wanted[dc] <= 0) continue;
+    if (std::find(out.begin(), out.end(), n) != out.end()) continue;
+    out.push_back(n);
+    --wanted[dc];
+    --remaining;
+  }
+  HARMONY_CHECK_MSG(remaining == 0, "could not satisfy NTS placement");
+  return out;
+}
+
+std::vector<double> TokenRing::ownership() const {
+  std::vector<double> owned(topo_->node_count(), 0.0);
+  const double full = std::pow(2.0, 64.0);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    // vnode i owns (previous token, token]; the first wraps around.
+    const std::uint64_t hi = ring_[i].token;
+    const std::uint64_t lo = ring_[i == 0 ? ring_.size() - 1 : i - 1].token;
+    const double span = (i == 0)
+                            ? static_cast<double>(hi) +
+                                  (full - static_cast<double>(lo))
+                            : static_cast<double>(hi - lo);
+    owned[ring_[i].node] += span / full;
+  }
+  return owned;
+}
+
+}  // namespace harmony::cluster

@@ -1,0 +1,47 @@
+// Consistent-hash token ring with virtual nodes and two replica-placement
+// strategies, mirroring Cassandra:
+//   - SimpleStrategy: the rf distinct nodes clockwise from the key's token.
+//   - NetworkTopologyStrategy: per-datacenter replica counts, each DC's
+//     replicas chosen clockwise within that DC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/versioned_value.h"
+#include "net/topology.h"
+
+namespace harmony::cluster {
+
+class TokenRing {
+ public:
+  TokenRing(const net::Topology& topo, int vnodes_per_node, std::uint64_t seed);
+
+  /// Hash a key onto the token space.
+  static std::uint64_t token_for(Key key);
+
+  /// SimpleStrategy placement: rf distinct nodes clockwise from the token.
+  std::vector<net::NodeId> replicas_simple(Key key, int rf) const;
+
+  /// NetworkTopologyStrategy placement. rf_per_dc[d] replicas in DC d.
+  /// Order: clockwise from the token, so the "primary" replica comes first.
+  std::vector<net::NodeId> replicas_nts(Key key,
+                                        const std::vector<int>& rf_per_dc) const;
+
+  std::size_t vnode_count() const { return ring_.size(); }
+
+  /// Fraction of the token space owned by each node (for balance tests).
+  std::vector<double> ownership() const;
+
+ private:
+  struct VNode {
+    std::uint64_t token;
+    net::NodeId node;
+  };
+  const net::Topology* topo_;
+  std::vector<VNode> ring_;  // sorted by token
+
+  std::size_t first_at_or_after(std::uint64_t token) const;
+};
+
+}  // namespace harmony::cluster

@@ -1,0 +1,33 @@
+// Versioned values with last-write-wins reconciliation, as in Cassandra:
+// a write's timestamp orders it against every other write of the same key;
+// a unique sequence number breaks timestamp ties deterministically.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time_types.h"
+
+namespace harmony::cluster {
+
+using Key = std::uint64_t;
+
+struct Version {
+  SimTime timestamp = -1;    ///< write start time (client clock)
+  std::uint64_t seq = 0;     ///< globally unique write id (tie-break)
+
+  bool newer_than(const Version& o) const {
+    if (timestamp != o.timestamp) return timestamp > o.timestamp;
+    return seq > o.seq;
+  }
+  bool operator==(const Version&) const = default;
+};
+
+/// Sentinel for "key not present" (never newer than any real write).
+inline constexpr Version kNoVersion{};
+
+struct VersionedValue {
+  Version version;
+  std::uint32_t size_bytes = 0;
+};
+
+}  // namespace harmony::cluster

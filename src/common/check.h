@@ -1,0 +1,41 @@
+// Lightweight runtime-check macros (contract checks per C++ Core Guidelines I.6).
+// Checks stay enabled in release builds: simulation correctness depends on them
+// and their cost is negligible next to event processing.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace harmony {
+
+/// Thrown when a HARMONY_CHECK fails. Derives from std::logic_error because a
+/// failed check is always a programming error, not an environmental condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace harmony
+
+#define HARMONY_CHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) ::harmony::detail::check_failed(#cond, __FILE__, __LINE__, \
+                                                 std::string{});            \
+  } while (false)
+
+#define HARMONY_CHECK_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) ::harmony::detail::check_failed(#cond, __FILE__, __LINE__, \
+                                                 (msg));                    \
+  } while (false)

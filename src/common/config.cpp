@@ -1,0 +1,56 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace harmony {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config c;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;  // ignore non-option words
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      c.set(arg, "1");
+    } else {
+      c.set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+  return c;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  kv_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& dflt) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t dflt) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Config::get_double(const std::string& key, double dflt) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::get_bool(const std::string& key, bool dflt) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace harmony

@@ -1,0 +1,35 @@
+// Minimal --key=value command-line configuration used by bench and example
+// binaries (e.g. --ops=100000 --seed=7 --scale=0.1). Unknown keys are kept so
+// experiment harnesses can layer their own options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv; accepts "--key=value" and bare "--flag" (value "1").
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  const std::map<std::string, std::string>& entries() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,161 @@
+#include "common/distributions.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace harmony {
+
+// ---------------------------------------------------------------- Uniform
+
+UniformKeys::UniformKeys(std::uint64_t n) : n_(n) { HARMONY_CHECK(n > 0); }
+
+std::uint64_t UniformKeys::next(Rng& rng) { return rng.uniform_u64(n_); }
+
+void UniformKeys::grow(std::uint64_t new_count) {
+  HARMONY_CHECK(new_count >= n_);
+  n_ = new_count;
+}
+
+std::unique_ptr<KeyDistribution> UniformKeys::clone() const {
+  return std::make_unique<UniformKeys>(*this);
+}
+
+// ---------------------------------------------------------------- Zipfian
+
+double ZipfianKeys::zeta(std::uint64_t from, std::uint64_t to, double theta,
+                         double initial) {
+  // zeta(n) = sum_{i=1..n} 1/i^theta, computed incrementally from `from`.
+  double z = initial;
+  for (std::uint64_t i = from; i < to; ++i) {
+    z += 1.0 / std::pow(static_cast<double>(i) + 1.0, theta);
+  }
+  return z;
+}
+
+ZipfianKeys::ZipfianKeys(std::uint64_t n, double theta)
+    : n_(0), theta_(theta), zeta_n_(0), alpha_(0), eta_(0), zeta2theta_(0) {
+  HARMONY_CHECK(n > 0);
+  HARMONY_CHECK_MSG(theta > 0 && theta < 1,
+                    "YCSB zipfian requires theta in (0,1)");
+  zeta2theta_ = zeta(0, 2, theta_, 0.0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  recompute(n);
+}
+
+void ZipfianKeys::recompute(std::uint64_t n) {
+  zeta_n_ = zeta(n_, n, theta_, zeta_n_);
+  n_ = n;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zeta_n_);
+}
+
+std::uint64_t ZipfianKeys::next_rank(Rng& rng) {
+  // Gray et al. closed-form inverse; identical to YCSB's ZipfianGenerator.
+  const double u = rng.uniform();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::uint64_t ZipfianKeys::next(Rng& rng) { return next_rank(rng); }
+
+void ZipfianKeys::grow(std::uint64_t new_count) {
+  HARMONY_CHECK(new_count >= n_);
+  if (new_count != n_) recompute(new_count);
+}
+
+double ZipfianKeys::pmf(std::uint64_t rank) const {
+  HARMONY_CHECK(rank < n_);
+  return (1.0 / std::pow(static_cast<double>(rank) + 1.0, theta_)) / zeta_n_;
+}
+
+std::unique_ptr<KeyDistribution> ZipfianKeys::clone() const {
+  return std::make_unique<ZipfianKeys>(*this);
+}
+
+// ---------------------------------------------------------------- Latest
+
+LatestKeys::LatestKeys(std::uint64_t n, double theta) : zipf_(n, theta) {}
+
+std::uint64_t LatestKeys::next(Rng& rng) {
+  // Hot item = most recent insert: reflect the zipfian rank off the frontier.
+  const std::uint64_t n = zipf_.item_count();
+  const std::uint64_t rank = zipf_.next(rng);
+  return n - 1 - rank;
+}
+
+std::uint64_t LatestKeys::item_count() const { return zipf_.item_count(); }
+
+void LatestKeys::grow(std::uint64_t new_count) { zipf_.grow(new_count); }
+
+std::unique_ptr<KeyDistribution> LatestKeys::clone() const {
+  return std::make_unique<LatestKeys>(*this);
+}
+
+// ---------------------------------------------------------------- HotSpot
+
+HotSpotKeys::HotSpotKeys(std::uint64_t n, double hot_set_fraction,
+                         double hot_op_fraction)
+    : n_(n),
+      hot_set_fraction_(hot_set_fraction),
+      hot_op_fraction_(hot_op_fraction) {
+  HARMONY_CHECK(n > 0);
+  HARMONY_CHECK(hot_set_fraction > 0 && hot_set_fraction <= 1);
+  HARMONY_CHECK(hot_op_fraction >= 0 && hot_op_fraction <= 1);
+}
+
+std::uint64_t HotSpotKeys::next(Rng& rng) {
+  auto hot_count = static_cast<std::uint64_t>(
+      hot_set_fraction_ * static_cast<double>(n_));
+  if (hot_count == 0) hot_count = 1;
+  if (rng.chance(hot_op_fraction_)) return rng.uniform_u64(hot_count);
+  if (hot_count >= n_) return rng.uniform_u64(n_);
+  return hot_count + rng.uniform_u64(n_ - hot_count);
+}
+
+void HotSpotKeys::grow(std::uint64_t new_count) {
+  HARMONY_CHECK(new_count >= n_);
+  n_ = new_count;
+}
+
+std::unique_ptr<KeyDistribution> HotSpotKeys::clone() const {
+  return std::make_unique<HotSpotKeys>(*this);
+}
+
+// ---------------------------------------------------------------- Spec
+
+std::string to_string(KeyDistributionKind k) {
+  switch (k) {
+    case KeyDistributionKind::kUniform: return "uniform";
+    case KeyDistributionKind::kZipfian: return "zipfian";
+    case KeyDistributionKind::kScrambledZipfian: return "scrambled_zipfian";
+    case KeyDistributionKind::kLatest: return "latest";
+    case KeyDistributionKind::kHotSpot: return "hotspot";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<KeyDistribution> KeyDistributionSpec::build(
+    std::uint64_t item_count) const {
+  switch (kind) {
+    case KeyDistributionKind::kUniform:
+      return std::make_unique<UniformKeys>(item_count);
+    case KeyDistributionKind::kZipfian:
+      return std::make_unique<ZipfianKeys>(item_count, zipf_theta);
+    case KeyDistributionKind::kScrambledZipfian:
+      return std::make_unique<ScrambledZipfianKeys>(item_count, zipf_theta);
+    case KeyDistributionKind::kLatest:
+      return std::make_unique<LatestKeys>(item_count, zipf_theta);
+    case KeyDistributionKind::kHotSpot:
+      return std::make_unique<HotSpotKeys>(item_count, hot_set_fraction,
+                                           hot_op_fraction);
+  }
+  HARMONY_CHECK_MSG(false, "unreachable: bad KeyDistributionKind");
+  return nullptr;
+}
+
+}  // namespace harmony

@@ -1,0 +1,114 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace harmony {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<std::size_t>(kOctaves) * kSubBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(SimDuration v) {
+  if (v < 0) v = 0;
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<std::size_t>(u);
+  // Octave = position of the highest set bit above the sub-bucket range;
+  // within an octave, the next kSubBucketBits bits select the sub-bucket.
+  const int high = 63 - std::countl_zero(u);
+  const int octave = high - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>(
+      (u >> (high - kSubBucketBits)) & (kSubBuckets - 1));
+  std::size_t idx = static_cast<std::size_t>(octave) * kSubBuckets + sub;
+  const std::size_t last = static_cast<std::size_t>(kOctaves) * kSubBuckets - 1;
+  return idx > last ? last : idx;
+}
+
+SimDuration LatencyHistogram::bucket_upper_bound(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<SimDuration>(index);
+  const std::size_t octave = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  // Inverse of bucket_index: reconstruct the largest value mapping here.
+  const int high = static_cast<int>(octave) + kSubBucketBits - 1;
+  const std::uint64_t base = (1ULL << kSubBucketBits) | sub;
+  const std::uint64_t lo = base << (high - kSubBucketBits);
+  const std::uint64_t width = 1ULL << (high - kSubBucketBits);
+  return static_cast<SimDuration>(lo + width - 1);
+}
+
+void LatencyHistogram::record(SimDuration value) { record_n(value, 1); }
+
+void LatencyHistogram::record_n(SimDuration value, std::uint64_t n) {
+  if (n == 0) return;
+  if (value < 0) value = 0;  // durations cannot be negative; clamp
+  buckets_[bucket_index(value)] += n;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+double LatencyHistogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+SimDuration LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  HARMONY_CHECK(p >= 0 && p <= 100);
+  const double target_f = p / 100.0 * static_cast<double>(count_);
+  auto target = static_cast<std::uint64_t>(target_f);
+  if (target < target_f) ++target;
+  if (target == 0) target = 1;
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    if (running >= target) {
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  HARMONY_CHECK(buckets_.size() == other.buckets_.size());
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "mean=%s p50=%s p95=%s p99=%s max=%s n=%llu",
+                format_duration(static_cast<SimDuration>(mean())).c_str(),
+                format_duration(median()).c_str(),
+                format_duration(p95()).c_str(),
+                format_duration(p99()).c_str(),
+                format_duration(max()).c_str(),
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+}  // namespace harmony

@@ -1,0 +1,55 @@
+// Log-linear latency histogram (HdrHistogram-style).
+//
+// Values are bucketed with ~3% relative precision over [1us, ~1.2e7us], which
+// is ample for operation latencies; recording is two shifts and an increment,
+// so every simulated operation can afford one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace harmony {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(SimDuration value);
+  void record_n(SimDuration value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  SimDuration min() const { return count_ ? min_ : 0; }
+  SimDuration max() const { return count_ ? max_ : 0; }
+
+  /// p in [0,100]; returns the upper bound of the bucket containing the
+  /// p-th percentile observation (0 when empty).
+  SimDuration percentile(double p) const;
+  SimDuration median() const { return percentile(50.0); }
+  SimDuration p95() const { return percentile(95.0); }
+  SimDuration p99() const { return percentile(99.0); }
+
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  /// "mean=1.2ms p50=0.9ms p95=3.0ms p99=6.1ms max=9ms n=1234"
+  std::string summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 40;
+
+  static std::size_t bucket_index(SimDuration v);
+  static SimDuration bucket_upper_bound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  SimDuration min_ = 0, max_ = 0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,41 @@
+// Tiny leveled logger. Simulation code logs sparingly (it is hot); the logger
+// exists mainly so examples and experiment harnesses can narrate progress.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace harmony {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace harmony
+
+#define HARMONY_LOG(level)                                        \
+  if (static_cast<int>(::harmony::LogLevel::level) <              \
+      static_cast<int>(::harmony::log_level())) {                 \
+  } else                                                          \
+    ::harmony::detail::LogLine(::harmony::LogLevel::level)

@@ -1,0 +1,69 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace harmony {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  HARMONY_CHECK(n > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  HARMONY_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span may wrap to 0 when the range covers all of int64; next() handles it.
+  if (span == 0) return static_cast<std::int64_t>(next());
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) return 0.0;
+  double u = uniform();
+  // uniform() can return exactly 0; nudge to avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal() {
+  // Box-Muller, one variate per call.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  HARMONY_CHECK(median > 0);
+  return median * std::exp(sigma * normal());
+}
+
+std::size_t Rng::weighted_index(const double* weights, std::size_t n) {
+  HARMONY_CHECK(n > 0);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += weights[i];
+  HARMONY_CHECK_MSG(total > 0, "weighted_index requires a positive weight sum");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return n - 1;  // floating-point slack lands on the last bucket
+}
+
+}  // namespace harmony

@@ -1,0 +1,71 @@
+// Fixed-size thread pool with future-returning submit() and a blocking
+// parallel_for. Experiment harnesses use it to run *independent* simulations
+// concurrently (policy/level/tolerance grids); the simulations themselves stay
+// single-threaded for determinism, so there is no shared mutable state between
+// tasks (C++ Core Guidelines CP.2: avoid data races by construction).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace harmony {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run fn() on a worker; the returned future carries the result/exception.
+  template <typename Fn, typename R = std::invoke_result_t<Fn>>
+  std::future<R> submit(Fn fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Evaluate fn(i) for i in [0, n), blocking until all complete.
+  /// Exceptions from iterations are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Map fn over [0, n) with a transient pool; convenience for benches.
+/// Returns results in index order.
+template <typename R>
+std::vector<R> parallel_map(std::size_t n, const std::function<R(std::size_t)>& fn,
+                            std::size_t threads = 0) {
+  ThreadPool pool(threads);
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+  }
+  std::vector<R> out;
+  out.reserve(n);
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace harmony

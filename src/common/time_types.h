@@ -1,0 +1,44 @@
+// Simulated-time representation shared by every module.
+//
+// Simulated time is a signed 64-bit count of microseconds since simulation
+// start. A plain integer (rather than std::chrono) keeps event-queue keys
+// trivially comparable and hashable, and microsecond resolution comfortably
+// covers both sub-millisecond datacenter RTTs and multi-hour billing periods.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace harmony {
+
+using SimTime = std::int64_t;      ///< absolute simulated time, microseconds
+using SimDuration = std::int64_t;  ///< simulated duration, microseconds
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr SimDuration usec(double n) { return static_cast<SimDuration>(n); }
+constexpr SimDuration msec(double n) { return static_cast<SimDuration>(n * 1e3); }
+constexpr SimDuration sec(double n) { return static_cast<SimDuration>(n * 1e6); }
+
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_millis(SimDuration d) { return static_cast<double>(d) / 1e3; }
+constexpr double to_hours(SimDuration d) { return static_cast<double>(d) / 3.6e9; }
+
+/// Human-readable duration, e.g. "12.3ms" or "4.50s"; used in tables and logs.
+inline std::string format_duration(SimDuration d) {
+  char buf[32];
+  if (d < kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof buf, "%.2fms", to_millis(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", to_seconds(d));
+  }
+  return buf;
+}
+
+}  // namespace harmony

@@ -1,0 +1,84 @@
+// Related-work baselines (paper §II), reconstructed so the benches can
+// compare Harmony/Bismar against the approaches the paper positions itself
+// against:
+//
+//  * ConflictRationingPolicy — Kraska et al., "Consistency rationing in the
+//    cloud" (VLDB'09): compute the probability of an update conflict and
+//    switch between strong and weak consistency against a threshold. The
+//    paper's critique: conflicts, not staleness, drive the decision.
+//  * ReadWriteRatioPolicy — Wang et al. (GCC'10): choose strong vs eventual
+//    consistency by comparing the read/write rate balance to a *static*
+//    threshold. The paper's critique: the threshold is arbitrary and static.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/policy.h"
+
+namespace harmony::core {
+
+struct ConflictRationingOptions {
+  /// Switch to strong consistency when P(update conflict) exceeds this.
+  double conflict_threshold = 0.05;
+  /// Conflict window: two updates within this span of one another (and before
+  /// propagation finishes) are treated as conflicting. When 0, the monitored
+  /// propagation window Tp is used.
+  SimDuration window = 0;
+  int write_acks = 1;
+};
+
+/// Kraska-style consistency rationing. With Poisson updates at rate λw, the
+/// probability that an update collides with another inside the window w is
+/// P(conflict) = 1 − e^(−λw·w)·(1 + λw·w) (two or more arrivals in w).
+class ConflictRationingPolicy final : public policy::ConsistencyPolicy {
+ public:
+  ConflictRationingPolicy(ConflictRationingOptions options, int rf);
+
+  cluster::ReplicaRequirement read_requirement() const override;
+  cluster::ReplicaRequirement write_requirement() const override;
+  void tick(const monitor::SystemState& state) override;
+  std::string name() const override { return "conflict-rationing"; }
+  std::uint64_t switches() const override { return switches_; }
+
+  bool strong() const { return strong_; }
+  double last_conflict_probability() const { return p_conflict_; }
+
+ private:
+  ConflictRationingOptions opt_;
+  int rf_;
+  bool strong_ = false;
+  double p_conflict_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+struct ReadWriteRatioOptions {
+  /// Strong consistency when write_rate / (read_rate + write_rate) exceeds
+  /// this static threshold (frequent writes => more inconsistency windows).
+  double write_share_threshold = 0.3;
+  int write_acks = 1;
+};
+
+class ReadWriteRatioPolicy final : public policy::ConsistencyPolicy {
+ public:
+  ReadWriteRatioPolicy(ReadWriteRatioOptions options, int rf);
+
+  cluster::ReplicaRequirement read_requirement() const override;
+  cluster::ReplicaRequirement write_requirement() const override;
+  void tick(const monitor::SystemState& state) override;
+  std::string name() const override { return "rw-ratio"; }
+  std::uint64_t switches() const override { return switches_; }
+
+  bool strong() const { return strong_; }
+
+ private:
+  ReadWriteRatioOptions opt_;
+  int rf_;
+  bool strong_ = false;
+  std::uint64_t switches_ = 0;
+};
+
+policy::PolicyFactory conflict_rationing_policy(ConflictRationingOptions o = {});
+policy::PolicyFactory rw_ratio_policy(ReadWriteRatioOptions o = {});
+
+}  // namespace harmony::core

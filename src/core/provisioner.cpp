@@ -1,0 +1,93 @@
+#include "core/provisioner.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace harmony::core {
+
+double StorageProvisioner::replica_work_per_op(double read_fraction,
+                                               int read_replicas, int rf) {
+  HARMONY_CHECK(read_fraction >= 0 && read_fraction <= 1);
+  HARMONY_CHECK(read_replicas >= 1 && read_replicas <= rf);
+  // A read touches `k` replicas (one data + k-1 digests; digests cost about
+  // half a data read). A write is applied by all rf replicas regardless of
+  // the ack level.
+  const double read_work = 1.0 + 0.5 * (read_replicas - 1);
+  const double write_work = static_cast<double>(rf);
+  return read_fraction * read_work + (1.0 - read_fraction) * write_work;
+}
+
+double StorageProvisioner::capacity_ops_per_s(int nodes,
+                                              const ProvisioningRequest& r) {
+  const double work = replica_work_per_op(r.read_fraction, r.read_replicas, r.rf);
+  return static_cast<double>(nodes) * r.node_replica_ops_per_s *
+         r.target_utilization / work;
+}
+
+ProvisioningPlan StorageProvisioner::evaluate(int nodes,
+                                              const ProvisioningRequest& r) const {
+  ProvisioningPlan p;
+  p.nodes = nodes;
+  const int degraded = nodes - r.tolerated_failures;
+  if (degraded < r.rf) {
+    p.feasible = false;
+    p.rationale = "fewer than rf nodes after failures";
+    return p;
+  }
+  p.degraded_capacity_ops_per_s = capacity_ops_per_s(degraded, r);
+  p.feasible = p.degraded_capacity_ops_per_s >= r.demand_ops_per_s;
+  p.utilization_at_demand =
+      p.degraded_capacity_ops_per_s > 0
+          ? r.demand_ops_per_s / p.degraded_capacity_ops_per_s *
+                r.target_utilization
+          : 1.0;
+
+  // Monthly bill at the demanded load.
+  cost::ResourceUsage usage;
+  const double hours = cost::BillCalculator::kHoursPerMonth;
+  usage.node_hours = static_cast<double>(nodes) * hours;
+  usage.storage_gb_hours = r.dataset_gb * static_cast<double>(r.rf) * hours;
+  const double ops_per_month = r.demand_ops_per_s * 3600.0 * hours;
+  const double work = replica_work_per_op(r.read_fraction, r.read_replicas, r.rf);
+  usage.io_requests = static_cast<std::uint64_t>(ops_per_month * work *
+                                                 r.disk_io_per_replica_op);
+  const double replica_writes_per_month =
+      ops_per_month * (1.0 - r.read_fraction) * r.rf;
+  usage.cross_dc_gb = replica_writes_per_month * r.cross_dc_write_fraction *
+                      r.value_bytes / 1e9;
+  p.monthly_bill = cost::BillCalculator(r.price_book).compute(usage);
+
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%d nodes, degraded capacity %.0f ops/s",
+                nodes, p.degraded_capacity_ops_per_s);
+  p.rationale = buf;
+  return p;
+}
+
+ProvisioningPlan StorageProvisioner::plan(const ProvisioningRequest& r) const {
+  HARMONY_CHECK(r.demand_ops_per_s > 0);
+  HARMONY_CHECK(r.rf >= 1);
+  HARMONY_CHECK(r.tolerated_failures >= 0);
+  HARMONY_CHECK(r.max_nodes >= r.rf);
+  // Bills are monotone in node count, so the first feasible n is cheapest.
+  for (int n = r.rf + r.tolerated_failures; n <= r.max_nodes; ++n) {
+    ProvisioningPlan p = evaluate(n, r);
+    if (p.feasible) return p;
+  }
+  ProvisioningPlan p = evaluate(r.max_nodes, r);
+  p.feasible = false;
+  p.rationale = "demand exceeds capacity at max_nodes";
+  return p;
+}
+
+std::vector<ProvisioningPlan> StorageProvisioner::sweep(
+    const ProvisioningRequest& r) const {
+  std::vector<ProvisioningPlan> plans;
+  for (int n = r.rf + r.tolerated_failures; n <= r.max_nodes; ++n) {
+    plans.push_back(evaluate(n, r));
+  }
+  return plans;
+}
+
+}  // namespace harmony::core

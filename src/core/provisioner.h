@@ -1,0 +1,71 @@
+// Cost-efficient storage provisioning under consistency, performance and
+// failure constraints — the paper's second future-work direction (§V):
+// "the quantity of additional storage nodes that reduce the bill is computed".
+//
+// The provisioner searches node counts n in [rf, max] and keeps the cheapest
+// plan whose *degraded* capacity (after `tolerated_failures` node losses)
+// still meets the demanded throughput at the demanded consistency level. The
+// capacity model charges each operation with the replica work the level
+// implies (reads fan out to k replicas, writes to all rf), which is why
+// stronger consistency needs more hardware — the coupling the paper points at.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/billing.h"
+
+namespace harmony::core {
+
+struct ProvisioningRequest {
+  double demand_ops_per_s = 10'000;
+  double read_fraction = 0.8;
+  int rf = 3;
+  int read_replicas = 1;        ///< consistency level the app will run
+  int tolerated_failures = 1;   ///< plan must survive this many node losses
+  double target_utilization = 0.6;  ///< headroom: run nodes at most this busy
+
+  // Per-node service capability (ops/s of replica-level work).
+  double node_replica_ops_per_s = 12'000;
+
+  // Billing inputs for a monthly estimate.
+  double value_bytes = 1024;
+  double dataset_gb = 20.0;
+  double cross_dc_write_fraction = 0.5;  ///< share of replica writes that cross DCs
+  /// Billed block-device I/Os per replica-level operation: caches/memtables
+  /// absorb most storage ops (matches the cluster simulator's disk model).
+  double disk_io_per_replica_op = 0.15;
+  cost::PriceBook price_book = cost::PriceBook::ec2_2012();
+
+  int max_nodes = 256;
+};
+
+struct ProvisioningPlan {
+  bool feasible = false;
+  int nodes = 0;
+  double degraded_capacity_ops_per_s = 0;  ///< after tolerated failures
+  double utilization_at_demand = 0;        ///< on the degraded cluster
+  cost::Bill monthly_bill;
+  std::string rationale;
+};
+
+class StorageProvisioner {
+ public:
+  /// Replica-level work units per client operation at the given level.
+  static double replica_work_per_op(double read_fraction, int read_replicas,
+                                    int rf);
+
+  /// Client-op capacity of n nodes (before failures).
+  static double capacity_ops_per_s(int nodes, const ProvisioningRequest& r);
+
+  /// Cheapest feasible plan; `feasible=false` when even max_nodes falls short.
+  ProvisioningPlan plan(const ProvisioningRequest& request) const;
+
+  /// The full sweep (for the bench that plots cost vs node count).
+  std::vector<ProvisioningPlan> sweep(const ProvisioningRequest& request) const;
+
+ private:
+  ProvisioningPlan evaluate(int nodes, const ProvisioningRequest& r) const;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,217 @@
+#include "core/stale_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace harmony::core {
+
+namespace {
+
+/// C(stale, k) / C(n, k): probability that k replicas drawn uniformly
+/// without replacement all land in the stale set. Computed as a product so
+/// large n stays exact in floating point.
+double all_stale_probability(int stale, int k, int n) {
+  if (k > stale) return 0.0;
+  double p = 1.0;
+  for (int j = 0; j < k; ++j) {
+    p *= static_cast<double>(stale - j) / static_cast<double>(n - j);
+  }
+  return p;
+}
+
+}  // namespace
+
+StaleReadModel::StaleReadModel(StaleModelParams params) : p_(std::move(params)) {
+  HARMONY_CHECK(p_.lambda_w >= 0);
+  HARMONY_CHECK(p_.write_acks >= 1);
+  HARMONY_CHECK(p_.contention >= 0 && p_.contention <= 1);
+  HARMONY_CHECK(p_.read_offset_us >= 0);
+  sorted_ = p_.prop_delays_us;
+  for (double& d : sorted_) {
+    HARMONY_CHECK_MSG(d >= 0, "negative delay");
+    d = std::max(0.0, d - p_.read_offset_us);
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  n_ = static_cast<int>(sorted_.size());
+}
+
+double StaleReadModel::p_in_window() const {
+  const double tp_s = window_us() / 1e6;
+  const double rate = p_.lambda_w * p_.contention;
+  if (tp_s <= 0 || rate <= 0) return 0.0;
+  return 1.0 - std::exp(-rate * tp_s);
+}
+
+// A read is judged against the newest write started before it. With Poisson
+// writes at rate lambda, the gap g between read and that write is Exp(lambda);
+// the read is stale iff all k contacted replicas have apply delay > g. So
+//
+//   P_stale(k) = integral over [from, Tp] of lambda e^(-lambda g) q_k(g) dg,
+//   q_k(g)     = C(S(g), k) / C(N, k),   S(g) piecewise constant.
+//
+// For lambda*Tp << 1 this reduces to the uniform-window approximation in the
+// header comment; computing the exact form keeps the Monte-Carlo validation
+// tight in the hot-key regime (lambda*Tp >~ 1) as well.
+double StaleReadModel::conditional_integral(int k, double from_us) const {
+  const double tp = window_us();
+  if (tp <= 0) return 0.0;
+  const double lambda_per_us = p_.lambda_w * p_.contention / 1e6;
+  if (lambda_per_us <= 0) return 0.0;
+  double acc = 0.0;
+  double seg_start = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    const double seg_end = sorted_[i];
+    const int stale = n_ - i;  // replicas still missing the write on segment
+    const double a = std::max(seg_start, from_us);
+    const double b = seg_end;
+    if (b > a) {
+      const double q = all_stale_probability(stale, k, n_);
+      if (q > 0) {
+        acc += q * (std::exp(-lambda_per_us * a) - std::exp(-lambda_per_us * b));
+      }
+    }
+    seg_start = seg_end;
+  }
+  return acc;
+}
+
+double StaleReadModel::p_stale(int k) const {
+  HARMONY_CHECK(k >= 1);
+  if (n_ == 0) return 0.0;
+  HARMONY_CHECK(k <= n_);
+  if (k + p_.write_acks > n_) return 0.0;  // quorum overlap: R + W > N
+  return conditional_integral(k, 0.0);
+}
+
+double StaleReadModel::p_stale_uniform_window(int k) const {
+  HARMONY_CHECK(k >= 1);
+  if (n_ == 0) return 0.0;
+  HARMONY_CHECK(k <= n_);
+  if (k + p_.write_acks > n_) return 0.0;
+  const double tp = window_us();
+  if (tp <= 0) return 0.0;
+  // Uniform position within the window: (1/Tp) ∫ C(S,k)/C(N,k) dτ.
+  double acc = 0.0;
+  double seg_start = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    const double seg_end = sorted_[i];
+    const int stale = n_ - i;
+    if (seg_end > seg_start) {
+      acc += (seg_end - seg_start) * all_stale_probability(stale, k, n_);
+    }
+    seg_start = seg_end;
+  }
+  return p_in_window() * (acc / tp);
+}
+
+double StaleReadModel::p_stale_older_than(int k, double age_us) const {
+  HARMONY_CHECK(k >= 1);
+  HARMONY_CHECK(age_us >= 0);
+  if (n_ == 0) return 0.0;
+  HARMONY_CHECK(k <= n_);
+  if (k + p_.write_acks > n_) return 0.0;
+  if (age_us >= window_us()) return 0.0;
+  // A stale read with gap g > age_us returns data at least age_us old.
+  return conditional_integral(k, age_us);
+}
+
+double StaleReadModel::expected_stale_age_us(int k) const {
+  HARMONY_CHECK(k >= 1);
+  if (n_ == 0 || k > n_ || k + p_.write_acks > n_) return 0.0;
+  const double tp = window_us();
+  const double lambda_per_us = p_.lambda_w * p_.contention / 1e6;
+  if (tp <= 0 || lambda_per_us <= 0) return 0.0;
+  // E[g | stale]: density proportional to lambda e^(-lambda g) q_k(g).
+  // Per segment: int lambda g e^(-lambda g) dg
+  //            = (a + 1/lambda) e^(-lambda a) - (b + 1/lambda) e^(-lambda b).
+  double mass = 0.0, moment = 0.0;
+  double seg_start = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    const double seg_end = sorted_[i];
+    const int stale = n_ - i;
+    const double q = all_stale_probability(stale, k, n_);
+    if (seg_end > seg_start && q > 0) {
+      const double a = seg_start, b = seg_end;
+      const double ea = std::exp(-lambda_per_us * a);
+      const double eb = std::exp(-lambda_per_us * b);
+      mass += q * (ea - eb);
+      moment += q * ((a + 1.0 / lambda_per_us) * ea -
+                     (b + 1.0 / lambda_per_us) * eb);
+    }
+    seg_start = seg_end;
+  }
+  return mass > 0 ? moment / mass : 0.0;
+}
+
+int StaleReadModel::min_replicas_for(double tolerance) const {
+  HARMONY_CHECK(tolerance >= 0 && tolerance <= 1);
+  if (n_ == 0) return 1;
+  for (int k = 1; k <= n_; ++k) {
+    if (p_stale(k) <= tolerance) return k;
+  }
+  return n_;  // unreachable: k=n_ always satisfies (overlap rule)
+}
+
+double StaleReadModel::monte_carlo_p_stale(const StaleModelParams& params,
+                                           int k, double lambda_r,
+                                           double horizon_s, Rng& rng) {
+  HARMONY_CHECK(k >= 1);
+  HARMONY_CHECK(lambda_r > 0);
+  HARMONY_CHECK(horizon_s > 0);
+  std::vector<double> profile = params.prop_delays_us;
+  std::sort(profile.begin(), profile.end());
+  const int n = static_cast<int>(profile.size());
+  HARMONY_CHECK(k <= n);
+  if (k + params.write_acks > n) return 0.0;  // same rule as the closed form
+
+  // Poisson write start times over the horizon.
+  const double rate = params.lambda_w * params.contention;
+  std::vector<double> writes_us;
+  if (rate > 0) {
+    double t = 0;
+    const double mean_gap_us = 1e6 / rate;
+    while (true) {
+      t += rng.exponential(mean_gap_us);
+      if (t >= horizon_s * 1e6) break;
+      writes_us.push_back(t);
+    }
+  }
+
+  // Poisson reads; each judged against the newest write started before it.
+  std::uint64_t reads = 0, stale = 0;
+  double t = 0;
+  const double read_gap_us = 1e6 / lambda_r;
+  std::vector<int> chosen(static_cast<std::size_t>(k));
+  while (true) {
+    t += rng.exponential(read_gap_us);
+    if (t >= horizon_s * 1e6) break;
+    ++reads;
+    if (writes_us.empty()) continue;
+    const auto it = std::upper_bound(writes_us.begin(), writes_us.end(), t);
+    if (it == writes_us.begin()) continue;  // no write before this read
+    const double gap = t - *(it - 1);
+    // Contact k distinct replicas; by exchangeability their apply delays are
+    // a uniform k-subset of the profile.
+    bool all_missing = true;
+    int picked = 0;
+    while (picked < k) {
+      const int candidate = static_cast<int>(rng.uniform_u64(n));
+      bool dup = false;
+      for (int j = 0; j < picked; ++j) {
+        if (chosen[j] == candidate) dup = true;
+      }
+      if (dup) continue;
+      chosen[picked++] = candidate;
+      if (profile[candidate] <= gap) {
+        all_missing = false;
+        break;  // some contacted replica already applied the newest write
+      }
+    }
+    if (all_missing) ++stale;
+  }
+  return reads ? static_cast<double>(stale) / static_cast<double>(reads) : 0.0;
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,102 @@
+// The probabilistic stale-read estimator (paper Fig. 1 and §III-A).
+//
+// Situation modeled — exactly the figure: a write starts at Xw; the first
+// replica is durable after T; replica j applies the update after delay s_j
+// (measured from Xw, so s includes T); the window closes at Tp = max_j s_j.
+// A read starting inside [Xw, Xw + Tp] *may* be stale; it actually is stale
+// iff every one of the k replicas it contacts has not yet applied the write.
+//
+// With Poisson writes at rate λw, the gap g between a read and the newest
+// write started before it is Exp(λw), so with the monitored delay profile
+// s_1..s_N (sorted ascending):
+//
+//   P_stale(k) = ∫₀^Tp λw e^(−λw·g) · C(S(g), k)/C(N, k) dg
+//
+// where S(g) = |{j : s_j > g}| is piecewise constant, making the integral a
+// finite sum over the sorted s_j — exact, O(N). For λw·Tp ≪ 1 this reduces to
+// the classical decomposition P(in window) · P(all k contacted stale | in
+// window) with a uniform window position; the exponential-gap form stays
+// exact in the hot-key regime (λw·Tp ≳ 1) too. When reads at k overlap the
+// write level W (k + W > N), P_stale(k) = 0 by quorum intersection.
+//
+// The same integral restricted to τ ≥ A gives the probability of reading data
+// stale by *more than* A — the basis of the freshness-deadline policy (§V).
+//
+// A Monte-Carlo estimator with the identical semantics is provided for
+// validation (tests compare the two; bench_fig1 compares both to full-cluster
+// simulation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace harmony::core {
+
+struct StaleModelParams {
+  double lambda_w = 0.0;  ///< write arrival rate, writes/second
+  /// Replica apply delays s_j in µs measured from write start, one per
+  /// replica, any order. Must be non-empty with non-negative entries.
+  std::vector<double> prop_delays_us;
+  int write_acks = 1;  ///< W: acks writes wait for (quorum-overlap rule)
+  /// Fraction of the write rate that actually contends with reads (1.0 =
+  /// the paper's system-wide approximation; smaller values model key-level
+  /// disjointness).
+  double contention = 1.0;
+  /// Read-path sampling offset, µs: a read issued at t observes replica
+  /// state at roughly t + offset (client hop + coordination + queueing), so
+  /// the replica effectively had `offset` extra time to apply the write.
+  /// Subtracted from every propagation delay. 0 (default) is the paper's
+  /// conservative reading of Fig. 1 (read position = read start).
+  double read_offset_us = 0.0;
+};
+
+class StaleReadModel {
+ public:
+  explicit StaleReadModel(StaleModelParams params);
+
+  int replica_count() const { return n_; }
+  /// Tp: the full propagation window, µs.
+  double window_us() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+  /// Probability that a read contacting k replicas returns stale data.
+  double p_stale(int k) const;
+
+  /// The coarse "simple probabilistic computation" variant: probability of
+  /// overlapping any window (1 − e^(−λw·Tp)) times the window-averaged
+  /// all-k-stale probability, i.e. the read position is treated as uniform
+  /// within the window. This is the style of estimate the paper reports
+  /// (e.g. "only 21% of reads are estimated to be up-to-date"); the exact
+  /// p_stale() refines it in the hot-key regime.
+  double p_stale_uniform_window(int k) const;
+
+  /// Probability that a read contacting k replicas returns data stale by
+  /// more than `age_us` microseconds.
+  double p_stale_older_than(int k, double age_us) const;
+
+  /// Expected staleness age of a stale read at level k (µs; 0 if p_stale=0).
+  double expected_stale_age_us(int k) const;
+
+  /// Probability that a read overlaps at least one propagation window.
+  double p_in_window() const;
+
+  /// Harmony's decision rule: smallest k with p_stale(k) <= tolerance
+  /// (clamped to [1, N]; returns N when even N-1 misses the tolerance).
+  int min_replicas_for(double tolerance) const;
+
+  /// Monte-Carlo reference with identical semantics (validation only).
+  /// Simulates `horizon_s` seconds of Poisson writes/reads and judges reads
+  /// against the newest write started before them.
+  static double monte_carlo_p_stale(const StaleModelParams& params, int k,
+                                    double lambda_r, double horizon_s, Rng& rng);
+
+ private:
+  double conditional_integral(int k, double from_us) const;
+
+  StaleModelParams p_;
+  std::vector<double> sorted_;  ///< ascending apply delays
+  int n_ = 0;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,38 @@
+#include "core/static_policy.h"
+
+namespace harmony::core {
+
+StaticPolicy::StaticPolicy(cluster::Level read_level, cluster::Level write_level,
+                           int rf, int local_rf)
+    : read_(cluster::resolve(read_level, rf, local_rf)),
+      write_(cluster::resolve(write_level, rf, local_rf)),
+      name_("static-" + cluster::to_string(read_level) +
+            (read_level == write_level
+                 ? std::string{}
+                 : "/" + cluster::to_string(write_level))) {}
+
+StaticPolicy::StaticPolicy(int read_replicas, int write_acks, int rf)
+    : read_(cluster::resolve_count(read_replicas, rf)),
+      write_(cluster::resolve_count(write_acks, rf)),
+      name_("static-R" + std::to_string(read_.count) + "W" +
+            std::to_string(write_.count)) {}
+
+policy::PolicyFactory static_level(cluster::Level read_level,
+                                   cluster::Level write_level) {
+  return [read_level, write_level](const policy::PolicyInit& init) {
+    return std::make_unique<StaticPolicy>(read_level, write_level, init.rf,
+                                          init.local_rf);
+  };
+}
+
+policy::PolicyFactory static_level(cluster::Level level) {
+  return static_level(level, level);
+}
+
+policy::PolicyFactory static_counts(int read_replicas, int write_acks) {
+  return [read_replicas, write_acks](const policy::PolicyInit& init) {
+    return std::make_unique<StaticPolicy>(read_replicas, write_acks, init.rf);
+  };
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,37 @@
+// Static consistency policies: the fixed levels the paper compares against
+// (eventual = ONE, strong = ALL, and the intermediate TWO/THREE/QUORUM used
+// throughout §IV-B).
+#pragma once
+
+#include <string>
+
+#include "workload/policy.h"
+
+namespace harmony::core {
+
+class StaticPolicy final : public policy::ConsistencyPolicy {
+ public:
+  StaticPolicy(cluster::Level read_level, cluster::Level write_level, int rf,
+               int local_rf);
+
+  /// Raw replica counts (what Harmony's knob also produces).
+  StaticPolicy(int read_replicas, int write_acks, int rf);
+
+  cluster::ReplicaRequirement read_requirement() const override { return read_; }
+  cluster::ReplicaRequirement write_requirement() const override { return write_; }
+  std::string name() const override { return name_; }
+
+ private:
+  cluster::ReplicaRequirement read_;
+  cluster::ReplicaRequirement write_;
+  std::string name_;
+};
+
+/// Factory helpers for RunConfig.policy.
+policy::PolicyFactory static_level(cluster::Level read_level,
+                                   cluster::Level write_level);
+/// Same level for reads and writes (how §IV-B sweeps levels).
+policy::PolicyFactory static_level(cluster::Level level);
+policy::PolicyFactory static_counts(int read_replicas, int write_acks);
+
+}  // namespace harmony::core

@@ -1,0 +1,33 @@
+#include "cost/energy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace harmony::cost {
+
+double PowerModel::average_watts(std::size_t nodes, SimDuration wall,
+                                 SimDuration total_busy,
+                                 double network_bytes) const {
+  HARMONY_CHECK(wall > 0);
+  HARMONY_CHECK(nodes > 0);
+  const double wall_s = to_seconds(wall);
+  double utilization = to_seconds(total_busy) /
+                       (wall_s * static_cast<double>(nodes));
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  const double cpu_watts =
+      static_cast<double>(nodes) *
+      (idle_watts + (busy_watts - idle_watts) * utilization);
+  // Average NIC load: bytes over the whole run converted to Gbit/s.
+  const double gbps = network_bytes * 8.0 / 1e9 / wall_s;
+  return cpu_watts + gbps * nic_watts_per_gbps;
+}
+
+double PowerModel::energy_kwh(std::size_t nodes, SimDuration wall,
+                              SimDuration total_busy,
+                              double network_bytes) const {
+  const double watts = average_watts(nodes, wall, total_busy, network_bytes);
+  return watts * to_hours(wall) / 1000.0;
+}
+
+}  // namespace harmony::cost

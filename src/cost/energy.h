@@ -1,0 +1,31 @@
+// Power/energy model — the paper's primary future-work direction (§V): "an
+// in-depth study that analyzes power consumption and resources usage of the
+// whole storage system considering different consistency levels".
+//
+// The model is the standard linear utilization model: a node draws idle power
+// plus a utilization-proportional active share. Consistency levels change
+// utilization (more replicas touched per op) and run time (latency), which is
+// exactly the coupling the paper proposes to study.
+#pragma once
+
+#include "common/time_types.h"
+
+namespace harmony::cost {
+
+struct PowerModel {
+  double idle_watts = 95.0;    ///< chassis at zero load
+  double busy_watts = 210.0;   ///< chassis at 100% CPU
+  double nic_watts_per_gbps = 1.2;
+
+  /// Energy (kWh) for `nodes` machines over `wall` of simulated time with
+  /// `total_busy` accumulated CPU-busy time across the fleet and
+  /// `network_bytes` moved.
+  double energy_kwh(std::size_t nodes, SimDuration wall, SimDuration total_busy,
+                    double network_bytes) const;
+
+  /// Average fleet power draw in watts for the same inputs.
+  double average_watts(std::size_t nodes, SimDuration wall,
+                       SimDuration total_busy, double network_bytes) const;
+};
+
+}  // namespace harmony::cost

@@ -1,0 +1,35 @@
+#include "ml/classifier.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace harmony::ml {
+
+NearestCentroidClassifier::NearestCentroidClassifier(FeatureMatrix centroids)
+    : centroids_(std::move(centroids)) {
+  HARMONY_CHECK(!centroids_.empty());
+}
+
+int NearestCentroidClassifier::predict(const FeatureVector& v) const {
+  HARMONY_CHECK(trained());
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = squared_distance(v, centroids_[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double NearestCentroidClassifier::distance_to_assigned(
+    const FeatureVector& v) const {
+  const int c = predict(v);
+  return std::sqrt(squared_distance(v, centroids_[static_cast<std::size_t>(c)]));
+}
+
+}  // namespace harmony::ml

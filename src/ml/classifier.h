@@ -1,0 +1,31 @@
+// Nearest-centroid runtime classifier: "At runtime, the application state is
+// identified by the application classifier" (§III-C). Centroids come from the
+// offline clustering; classification is a single distance scan, cheap enough
+// to run on every monitoring window.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/features.h"
+
+namespace harmony::ml {
+
+class NearestCentroidClassifier {
+ public:
+  NearestCentroidClassifier() = default;
+  explicit NearestCentroidClassifier(FeatureMatrix centroids);
+
+  /// Index of the nearest centroid.
+  int predict(const FeatureVector& v) const;
+  /// Distance to the assigned centroid (confidence proxy).
+  double distance_to_assigned(const FeatureVector& v) const;
+
+  std::size_t state_count() const { return centroids_.size(); }
+  const FeatureMatrix& centroids() const { return centroids_; }
+  bool trained() const { return !centroids_.empty(); }
+
+ private:
+  FeatureMatrix centroids_;
+};
+
+}  // namespace harmony::ml

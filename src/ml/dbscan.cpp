@@ -1,0 +1,55 @@
+#include "ml/dbscan.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace harmony::ml {
+
+DbscanResult dbscan(const FeatureMatrix& x, const DbscanOptions& opt) {
+  HARMONY_CHECK(opt.eps > 0);
+  HARMONY_CHECK(opt.min_points >= 1);
+  const double eps2 = opt.eps * opt.eps;
+  const std::size_t n = x.size();
+
+  auto neighbors_of = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (squared_distance(x[i], x[j]) <= eps2) out.push_back(j);
+    }
+    return out;  // includes i itself, as in the canonical formulation
+  };
+
+  DbscanResult r;
+  r.labels.assign(n, -2);  // -2 = unvisited, -1 = noise
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.labels[i] != -2) continue;
+    auto seeds = neighbors_of(i);
+    if (seeds.size() < static_cast<std::size_t>(opt.min_points)) {
+      r.labels[i] = -1;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    r.labels[i] = cluster;
+    std::deque<std::size_t> frontier(seeds.begin(), seeds.end());
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop_front();
+      if (r.labels[j] == -1) r.labels[j] = cluster;  // border point
+      if (r.labels[j] != -2) continue;
+      r.labels[j] = cluster;
+      auto jn = neighbors_of(j);
+      if (jn.size() >= static_cast<std::size_t>(opt.min_points)) {
+        frontier.insert(frontier.end(), jn.begin(), jn.end());
+      }
+    }
+  }
+  r.cluster_count = next_cluster;
+  for (const int l : r.labels) {
+    if (l == -1) ++r.noise_count;
+  }
+  return r;
+}
+
+}  // namespace harmony::ml

@@ -1,0 +1,27 @@
+// DBSCAN density clustering — an alternative state-discovery backend for the
+// behavior modeler (useful when application states are not blob-shaped and
+// the modeler should tag transition windows as noise instead of forcing them
+// into a state).
+#pragma once
+
+#include <vector>
+
+#include "ml/features.h"
+
+namespace harmony::ml {
+
+struct DbscanOptions {
+  double eps = 0.5;   ///< neighborhood radius (in normalized feature space)
+  int min_points = 4; ///< density threshold for a core point
+};
+
+struct DbscanResult {
+  /// Cluster id per row; -1 marks noise.
+  std::vector<int> labels;
+  int cluster_count = 0;
+  std::size_t noise_count = 0;
+};
+
+DbscanResult dbscan(const FeatureMatrix& x, const DbscanOptions& options);
+
+}  // namespace harmony::ml

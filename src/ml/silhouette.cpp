@@ -1,0 +1,77 @@
+#include "ml/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace harmony::ml {
+
+double silhouette_score(const FeatureMatrix& x, const std::vector<int>& labels,
+                        int k) {
+  HARMONY_CHECK(x.size() == labels.size());
+  if (k < 2 || x.size() < 2) return 0.0;
+
+  // Group row indices by cluster.
+  std::vector<std::vector<std::size_t>> members(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    HARMONY_CHECK(labels[i] >= 0 && labels[i] < k);
+    members[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  double total = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto own = static_cast<std::size_t>(labels[i]);
+    if (members[own].size() < 2) continue;  // silhouette undefined: skip
+    // a(i): mean distance to own cluster (excluding self).
+    double a = 0;
+    for (const std::size_t j : members[own]) {
+      if (j != i) a += std::sqrt(squared_distance(x[i], x[j]));
+    }
+    a /= static_cast<double>(members[own].size() - 1);
+    // b(i): smallest mean distance to another cluster.
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < members.size(); ++c) {
+      if (c == own || members[c].empty()) continue;
+      double d = 0;
+      for (const std::size_t j : members[c]) {
+        d += std::sqrt(squared_distance(x[i], x[j]));
+      }
+      b = std::min(b, d / static_cast<double>(members[c].size()));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+KSelection select_k(const FeatureMatrix& x, int k_min, int k_max,
+                    KMeansOptions base_options) {
+  HARMONY_CHECK(k_min >= 2);
+  HARMONY_CHECK(k_max >= k_min);
+  KSelection sel;
+  sel.scores.reserve(static_cast<std::size_t>(k_max - k_min + 1));
+  for (int k = k_min; k <= k_max; ++k) {
+    if (static_cast<std::size_t>(k) > x.size()) break;
+    KMeansOptions opt = base_options;
+    opt.k = k;
+    KMeansResult result = kmeans(x, opt);
+    const double score = silhouette_score(x, result.labels, k);
+    sel.scores.push_back(score);
+    if (score > sel.best_score) {
+      sel.best_score = score;
+      sel.best_k = k;
+      sel.best_result = std::move(result);
+    }
+  }
+  HARMONY_CHECK_MSG(!sel.scores.empty(), "no k candidate was evaluable");
+  return sel;
+}
+
+}  // namespace harmony::ml

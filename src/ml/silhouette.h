@@ -1,0 +1,30 @@
+// Silhouette scoring for model selection: the behavior modeler does not know
+// the number of application states a priori, so it sweeps k and keeps the
+// clustering with the best mean silhouette.
+#pragma once
+
+#include <vector>
+
+#include "ml/features.h"
+#include "ml/kmeans.h"
+
+namespace harmony::ml {
+
+/// Mean silhouette coefficient in [-1, 1]; higher = better separated.
+/// Returns 0 for degenerate inputs (single cluster or singleton clusters
+/// everywhere).
+double silhouette_score(const FeatureMatrix& x, const std::vector<int>& labels,
+                        int k);
+
+struct KSelection {
+  int best_k = 1;
+  double best_score = -1;
+  std::vector<double> scores;  ///< score per candidate k (k_min..k_max)
+  KMeansResult best_result;
+};
+
+/// Fit k-means for every k in [k_min, k_max] and keep the silhouette-best.
+KSelection select_k(const FeatureMatrix& x, int k_min, int k_max,
+                    KMeansOptions base_options);
+
+}  // namespace harmony::ml

@@ -1,0 +1,67 @@
+// Timeline building: "several predefined metrics are collected based on
+// application data access past traces. These metrics are collected per time
+// period in order to build the application timeline" (§III-C).
+//
+// The input is a neutral access-record stream (the core module adapts
+// workload traces to it), the output one feature vector per fixed-size time
+// window. Feature set (the "predefined metrics"):
+//   0 read rate (ops/s)          3 key-access entropy (bits, skew proxy)
+//   1 write rate (ops/s)         4 burstiness (CV of inter-arrival times)
+//   2 write share (writes/ops)   5 mean value size (bytes)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+#include "ml/features.h"
+
+namespace harmony::ml {
+
+struct AccessRecord {
+  SimTime time = 0;
+  bool is_write = false;
+  std::uint64_t key = 0;
+  std::uint32_t value_size = 0;
+};
+
+inline constexpr std::size_t kTimelineFeatureCount = 6;
+
+/// Names for reports/tables, index-aligned with the feature vector.
+const std::vector<std::string>& timeline_feature_names();
+
+struct TimelineWindow {
+  SimTime start = 0;
+  SimDuration length = 0;
+  std::size_t ops = 0;
+  FeatureVector features;  ///< size kTimelineFeatureCount
+};
+
+struct Timeline {
+  std::vector<TimelineWindow> windows;
+
+  FeatureMatrix matrix() const;
+};
+
+struct TimelineOptions {
+  SimDuration window = 10 * kSecond;
+  /// Windows with fewer ops than this are dropped (idle periods would
+  /// otherwise produce all-zero noise states).
+  std::size_t min_ops_per_window = 5;
+  /// Entropy is computed over key hash buckets to stay O(1) per record.
+  std::size_t entropy_buckets = 256;
+};
+
+/// Slice the record stream (must be time-sorted) into windows and compute the
+/// metric vector of each.
+Timeline build_timeline(const std::vector<AccessRecord>& records,
+                        const TimelineOptions& options);
+
+/// Compute the feature vector of one window directly (used by the runtime
+/// classifier on the live stream).
+FeatureVector window_features(const std::vector<AccessRecord>& window_records,
+                              SimDuration window_length,
+                              std::size_t entropy_buckets);
+
+}  // namespace harmony::ml

@@ -1,0 +1,64 @@
+#include "net/latency_model.h"
+
+#include <cmath>
+
+namespace harmony::net {
+
+const LatencyTier& TieredLatencyModel::tier(const Topology& topo, NodeId src,
+                                            NodeId dst) const {
+  if (src == dst) return p_.loopback;
+  if (topo.same_rack(src, dst)) return p_.same_rack;
+  if (topo.same_dc(src, dst)) return p_.same_dc;
+  return p_.cross_dc;
+}
+
+SimDuration TieredLatencyModel::sample(const Topology& topo, NodeId src,
+                                       NodeId dst, Rng& rng) const {
+  const LatencyTier& t = tier(topo, src, dst);
+  const double v = rng.lognormal_median(static_cast<double>(t.base), t.sigma);
+  return static_cast<SimDuration>(v);
+}
+
+SimDuration TieredLatencyModel::mean(const Topology& topo, NodeId src,
+                                     NodeId dst) const {
+  const LatencyTier& t = tier(topo, src, dst);
+  // Lognormal mean = median * exp(sigma^2 / 2).
+  return static_cast<SimDuration>(static_cast<double>(t.base) *
+                                  std::exp(t.sigma * t.sigma / 2.0));
+}
+
+TieredLatencyModel::Params TieredLatencyModel::ec2_two_az() {
+  Params p;
+  p.loopback = {usec(25), 0.05};
+  p.same_rack = {usec(200), 0.25};
+  p.same_dc = {usec(500), 0.3};
+  p.cross_dc = {msec(1.6), 0.35};
+  p.label = "ec2-two-az";
+  return p;
+}
+
+TieredLatencyModel::Params TieredLatencyModel::grid5000_two_sites() {
+  Params p;
+  p.loopback = {usec(15), 0.05};
+  p.same_rack = {usec(100), 0.15};
+  p.same_dc = {usec(250), 0.2};
+  p.cross_dc = {msec(9), 0.2};
+  p.label = "grid5000-two-sites";
+  return p;
+}
+
+TieredLatencyModel::Params TieredLatencyModel::lan() {
+  Params p;
+  p.loopback = {usec(15), 0.05};
+  p.same_rack = {usec(100), 0.15};
+  p.same_dc = {usec(250), 0.2};
+  p.cross_dc = {usec(600), 0.25};  // two clusters, same site
+  p.label = "lan";
+  return p;
+}
+
+std::unique_ptr<LatencyModel> make_tiered(TieredLatencyModel::Params p) {
+  return std::make_unique<TieredLatencyModel>(std::move(p));
+}
+
+}  // namespace harmony::net

@@ -1,0 +1,22 @@
+#include "net/net_stats.h"
+
+namespace harmony::net {
+
+LinkClass classify(const Topology& topo, NodeId src, NodeId dst) {
+  if (src == dst) return LinkClass::kLoopback;
+  if (topo.same_rack(src, dst)) return LinkClass::kSameRack;
+  if (topo.same_dc(src, dst)) return LinkClass::kSameDc;
+  return LinkClass::kCrossDc;
+}
+
+std::string to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kLoopback: return "loopback";
+    case LinkClass::kSameRack: return "same-rack";
+    case LinkClass::kSameDc: return "same-dc";
+    case LinkClass::kCrossDc: return "cross-dc";
+  }
+  return "unknown";
+}
+
+}  // namespace harmony::net

@@ -1,0 +1,39 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace harmony::sim {
+
+EventHandle EventQueue::push(SimTime when, EventFn fn) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{when, next_seq_++, alive,
+                   std::make_shared<EventFn>(std::move(fn))});
+  return EventHandle{std::move(alive)};
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+}
+
+bool EventQueue::pop(SimTime& when, EventFn& fn) {
+  drop_dead();
+  if (heap_.empty()) return false;
+  const Entry& top = heap_.top();
+  when = top.when;
+  fn = std::move(*top.fn);
+  heap_.pop();
+  return true;
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead();
+  HARMONY_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+}  // namespace harmony::sim

@@ -1,0 +1,70 @@
+// Pending-event set for the discrete-event kernel.
+//
+// Ordering is (time, sequence) so same-instant events run in scheduling order —
+// this is what makes whole simulations bit-reproducible from a seed.
+// Cancellation is O(1) via a shared tombstone flag; dead events are skipped at
+// pop time (lazy deletion), which keeps the heap simple and cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace harmony::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; cancel() is idempotent and safe after firing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  EventHandle push(SimTime when, EventFn fn);
+
+  /// Pop the earliest live event; returns false when drained.
+  /// On success fills `when`/`fn`.
+  bool pop(SimTime& when, EventFn& fn);
+
+  bool empty() const;
+  std::size_t size_with_tombstones() const { return heap_.size(); }
+  /// Earliest live event time (call only when !empty()).
+  SimTime next_time() const;
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    // mutable state lives behind pointers so Entry stays movable in the heap
+    std::shared_ptr<bool> alive;
+    std::shared_ptr<EventFn> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace harmony::sim

@@ -1,0 +1,28 @@
+#include "sim/simulation.h"
+
+namespace harmony::sim {
+
+bool Simulation::step() {
+  SimTime when = 0;
+  EventFn fn;
+  if (!queue_.pop(when, fn)) return false;
+  HARMONY_CHECK_MSG(when >= now_, "event queue went backwards");
+  now_ = when;
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Simulation::run_until(SimTime horizon) {
+  stopping_ = false;
+  while (!stopping_) {
+    if (queue_.empty()) return;
+    if (queue_.next_time() > horizon) {
+      now_ = horizon;
+      return;
+    }
+    step();
+  }
+}
+
+}  // namespace harmony::sim

@@ -1,0 +1,103 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Single-threaded by design: determinism is what lets every experiment in the
+// reproduction be replayed from a seed. Parallelism happens one level up, by
+// running independent Simulation instances on a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "sim/event_queue.h"
+
+namespace harmony::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : master_rng_(seed), seed_(seed) {}
+
+  SimTime now() const { return now_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Master RNG; entities should fork substreams at construction time.
+  Rng& rng() { return master_rng_; }
+  Rng fork_rng(std::uint64_t salt) { return master_rng_.fork(salt); }
+
+  /// Schedule fn at now()+delay (delay < 0 is clamped to 0).
+  EventHandle schedule(SimDuration delay, EventFn fn) {
+    if (delay < 0) delay = 0;
+    return queue_.push(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule fn at absolute time t (>= now()).
+  EventHandle schedule_at(SimTime t, EventFn fn) {
+    HARMONY_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    return queue_.push(t, std::move(fn));
+  }
+
+  /// Run one event; returns false if the queue was empty.
+  bool step();
+
+  /// Run until the queue drains or `horizon` passes (events at t > horizon
+  /// stay queued; now() is advanced to horizon if it was reached).
+  void run_until(SimTime horizon);
+
+  /// Run until the queue drains or stop() is called.
+  void run() { run_until(std::numeric_limits<SimTime>::max()); }
+
+  /// Stop after the current event returns (usable from inside callbacks).
+  void stop() { stopping_ = true; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+  Rng master_rng_;
+  std::uint64_t seed_;
+  std::uint64_t events_processed_ = 0;
+  bool stopping_ = false;
+};
+
+/// Repeating timer helper: schedules fn every `period` until cancelled or the
+/// owner Simulation drains. fn sees the tick time via sim.now().
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+
+  void start(Simulation& simulation, SimDuration period, EventFn fn) {
+    HARMONY_CHECK(period > 0);
+    stop();
+    sim_ = &simulation;
+    period_ = period;
+    fn_ = std::move(fn);
+    arm();
+  }
+
+  void stop() {
+    handle_.cancel();
+    sim_ = nullptr;
+  }
+
+  bool running() const { return sim_ != nullptr; }
+
+ private:
+  void arm() {
+    handle_ = sim_->schedule(period_, [this] {
+      if (sim_ == nullptr) return;
+      fn_();
+      if (sim_ != nullptr) arm();  // fn_ may have called stop()
+    });
+  }
+
+  Simulation* sim_ = nullptr;
+  SimDuration period_ = 0;
+  EventFn fn_;
+  EventHandle handle_;
+};
+
+}  // namespace harmony::sim

@@ -1,0 +1,88 @@
+#include "workload/client.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace harmony::workload {
+
+Client::Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s,
+               Rng rng)
+    : env_(&env), home_(home_dc), target_rate_(target_rate_per_s),
+      rng_(std::move(rng)) {}
+
+void Client::start() {
+  const auto stagger = static_cast<SimDuration>(rng_.exponential(500.0));
+  env_->simulation().schedule(stagger, [this] { issue_next(); });
+}
+
+void Client::schedule_next() {
+  if (finished_) return;
+  SimTime next = env_->simulation().now();
+  if (target_rate_ > 0) {
+    // Semi-open loop: arrivals pace at the target rate but never overlap.
+    const auto gap = static_cast<SimDuration>(rng_.exponential(1e6 / target_rate_));
+    next = std::max(next, last_issue_ + gap);
+  }
+  env_->simulation().schedule_at(next, [this] { issue_next(); });
+}
+
+void Client::issue_next() {
+  if (finished_) return;
+  Op op;
+  if (!env_->next_op(op)) {
+    finished_ = true;
+    env_->on_client_finished();
+    return;
+  }
+  ++issued_;
+  last_issue_ = env_->simulation().now();
+  switch (op.type) {
+    case OpType::kRead:
+      do_read(op, /*then_write=*/false);
+      break;
+    case OpType::kUpdate:
+    case OpType::kInsert:
+      env_->monitor().record_write_issued(last_issue_, op.key, op.value_size);
+      do_write(op, last_issue_, 0);
+      break;
+    case OpType::kReadModifyWrite:
+      do_read(op, /*then_write=*/true);
+      break;
+  }
+}
+
+void Client::do_read(const Op& op, bool then_write) {
+  const SimTime start = env_->simulation().now();
+  env_->monitor().record_read_issued(start, op.key);
+  const cluster::ReplicaRequirement req = env_->policy().read_requirement();
+  env_->cluster().client_read(
+      home_, op.key, req,
+      [this, op, start, then_write, req](const cluster::ReadResult& r) {
+        const SimDuration latency = env_->simulation().now() - start;
+        env_->monitor().record_read_complete(env_->simulation().now(), latency);
+        env_->on_read_complete(r, latency, req.count);
+        if (then_write) {
+          env_->monitor().record_write_issued(env_->simulation().now(), op.key,
+                                              op.value_size);
+          do_write(op, start, latency);
+        } else {
+          schedule_next();
+        }
+      });
+}
+
+void Client::do_write(const Op& op, SimTime /*op_start*/, SimDuration /*read_part*/) {
+  const SimTime start = env_->simulation().now();
+  const cluster::ReplicaRequirement req = env_->policy().write_requirement();
+  env_->cluster().client_write(
+      home_, op.key, op.value_size, req,
+      [this, start](const cluster::WriteResult& w) {
+        const SimDuration latency = env_->simulation().now() - start;
+        env_->monitor().record_write_complete(env_->simulation().now(), latency);
+        env_->on_write_complete(w, latency);
+        schedule_next();
+      });
+}
+
+}  // namespace harmony::workload

@@ -1,0 +1,72 @@
+// Closed-loop YCSB-style client.
+//
+// Each client is homed in a datacenter, draws operations from the shared
+// workload stream, issues them through the current consistency policy, and
+// issues the next operation when the previous completes (optionally paced to
+// a target rate, which makes the loop semi-open). Throughput is therefore an
+// emergent property of operation latency and node capacity, exactly as with
+// real YCSB clients against Cassandra.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "monitor/monitor.h"
+#include "workload/policy.h"
+#include "workload/spec.h"
+
+namespace harmony::workload {
+
+struct Op {
+  OpType type = OpType::kRead;
+  cluster::Key key = 0;
+  std::uint32_t value_size = 0;
+};
+
+/// The runner-side services a client needs. Runs inside the (single-threaded)
+/// simulation loop, so no synchronization is involved.
+class ClientEnv {
+ public:
+  virtual ~ClientEnv() = default;
+  /// Fetch the next operation; false when the op budget is exhausted.
+  virtual bool next_op(Op& op) = 0;
+  virtual const policy::ConsistencyPolicy& policy() const = 0;
+  virtual cluster::Cluster& cluster() = 0;
+  virtual monitor::Monitor& monitor() = 0;
+  virtual sim::Simulation& simulation() = 0;
+  /// Completion hooks (latency measured client-side).
+  virtual void on_read_complete(const cluster::ReadResult& result,
+                                SimDuration latency, int replicas_requested) = 0;
+  virtual void on_write_complete(const cluster::WriteResult& result,
+                                 SimDuration latency) = 0;
+  virtual void on_client_finished() = 0;
+};
+
+class Client {
+ public:
+  Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s, Rng rng);
+
+  /// Schedule this client's first operation (with a small random stagger so
+  /// clients do not start in lockstep).
+  void start();
+
+  net::DcId home_dc() const { return home_; }
+  std::uint64_t ops_issued() const { return issued_; }
+
+ private:
+  void issue_next();
+  void schedule_next();
+  void do_read(const Op& op, bool then_write);
+  void do_write(const Op& op, SimTime op_start, SimDuration read_part);
+
+  ClientEnv* env_;
+  net::DcId home_;
+  double target_rate_;
+  Rng rng_;
+  SimTime last_issue_ = 0;
+  std::uint64_t issued_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace harmony::workload

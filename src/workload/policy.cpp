@@ -1,0 +1,5 @@
+#include "workload/policy.h"
+
+// Interface-only translation unit: anchors the ConsistencyPolicy vtable.
+
+namespace harmony::policy {}  // namespace harmony::policy

@@ -1,0 +1,48 @@
+// Consistency-policy extension point.
+//
+// A policy answers two questions per operation — how many replica responses
+// must a read wait for, and how many acks must a write wait for — and is
+// ticked periodically with a fresh monitoring snapshot so adaptive policies
+// (Harmony, Bismar, the behavior-model policy) can retune. Static levels are
+// policies that ignore the ticks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/consistency.h"
+#include "common/rng.h"
+#include "monitor/monitor.h"
+
+namespace harmony::policy {
+
+class ConsistencyPolicy {
+ public:
+  virtual ~ConsistencyPolicy() = default;
+
+  /// Requirement applied to reads issued now.
+  virtual cluster::ReplicaRequirement read_requirement() const = 0;
+  /// Requirement applied to writes issued now.
+  virtual cluster::ReplicaRequirement write_requirement() const = 0;
+
+  /// Periodic retuning hook; default: static policy.
+  virtual void tick(const monitor::SystemState& state) { (void)state; }
+
+  virtual std::string name() const = 0;
+
+  /// Number of level switches performed so far (0 for static policies).
+  virtual std::uint64_t switches() const { return 0; }
+};
+
+/// Everything a policy may need at construction time.
+struct PolicyInit {
+  int rf = 3;
+  int local_rf = 2;
+  Rng rng{0};  ///< private substream, forked from the run seed
+};
+
+using PolicyFactory =
+    std::function<std::unique_ptr<ConsistencyPolicy>(const PolicyInit&)>;
+
+}  // namespace harmony::policy

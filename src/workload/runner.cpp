@@ -1,0 +1,260 @@
+#include "workload/runner.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "workload/client.h"
+
+namespace harmony::workload {
+
+namespace {
+
+/// Owns every entity of one experiment and implements the client callbacks.
+class Runner final : public ClientEnv {
+ public:
+  explicit Runner(const RunConfig& cfg)
+      : cfg_(cfg),
+        sim_(cfg.seed),
+        cluster_(sim_, cfg.cluster),
+        monitor_(cfg.monitor),
+        op_rng_(sim_.fork_rng(0x0FAB5EED)),
+        request_dist_(cfg.workload.request_dist.build(cfg.workload.record_count)) {
+    cfg_.workload.validate();
+    monitor_.attach(cluster_, /*client_home_dc=*/0);
+    policy::PolicyInit init;
+    init.rf = cfg_.cluster.rf;
+    init.local_rf = cfg_.cluster.local_rf(0);
+    init.rng = sim_.fork_rng(0x90110C);
+    policy_ = cfg_.policy(init);
+    HARMONY_CHECK_MSG(policy_ != nullptr, "policy factory returned null");
+  }
+
+  RunResult run() {
+    cluster_.preload_range(cfg_.workload.record_count, cfg_.workload.value_size);
+    next_insert_key_ = cfg_.workload.record_count;
+
+    // Clients, spread over every DC.
+    for (std::size_t d = 0; d < cfg_.cluster.dc_count; ++d) {
+      for (int i = 0; i < cfg_.workload.clients_per_dc; ++i) {
+        clients_.push_back(std::make_unique<Client>(
+            *this, static_cast<net::DcId>(d),
+            cfg_.workload.target_rate_per_client,
+            sim_.fork_rng(0xC11E017 + clients_.size())));
+      }
+    }
+    for (auto& c : clients_) c->start();
+
+    // Scheduled failure injection.
+    for (const auto& fault : cfg_.faults) {
+      sim_.schedule_at(fault.at, [this, fault] {
+        if (fault.kill) {
+          cluster_.kill_node(fault.node);
+        } else {
+          cluster_.revive_node(fault.node);
+        }
+      });
+    }
+
+    // Policy retuning tick.
+    policy_timer_.start(sim_, cfg_.policy_tick,
+                        [this] { policy_->tick(monitor_.snapshot(sim_.now())); });
+
+    // Warm-up boundary: reset measurements, keep billing clocks running.
+    if (cfg_.warmup > 0) {
+      sim_.schedule(cfg_.warmup, [this] { begin_measurement(); });
+    } else {
+      begin_measurement();
+    }
+
+    sim_.run();
+    return collect();
+  }
+
+  // ---- ClientEnv -----------------------------------------------------------
+
+  bool next_op(Op& op) override {
+    if (ops_issued_ >= cfg_.workload.op_count) return false;
+    ++ops_issued_;
+    const WorkloadSpec& w = cfg_.workload;
+    const double weights[4] = {w.read_proportion, w.update_proportion,
+                               w.insert_proportion, w.rmw_proportion};
+    switch (op_rng_.weighted_index(weights, 4)) {
+      case 0: op.type = OpType::kRead; break;
+      case 1: op.type = OpType::kUpdate; break;
+      case 2: op.type = OpType::kInsert; break;
+      default: op.type = OpType::kReadModifyWrite; break;
+    }
+    if (op.type == OpType::kInsert) {
+      op.key = next_insert_key_++;
+      request_dist_->grow(next_insert_key_);
+    } else {
+      op.key = request_dist_->next(op_rng_);
+    }
+    op.value_size = w.value_size;
+    if (cfg_.record_trace) {
+      if (result_.trace == nullptr) result_.trace = std::make_shared<Trace>();
+      result_.trace->records.push_back(
+          TraceRecord{sim_.now(), op.type, op.key, op.value_size});
+    }
+    return true;
+  }
+
+  const policy::ConsistencyPolicy& policy() const override { return *policy_; }
+  cluster::Cluster& cluster() override { return cluster_; }
+  monitor::Monitor& monitor() override { return monitor_; }
+  sim::Simulation& simulation() override { return sim_; }
+
+  void on_read_complete(const cluster::ReadResult& r, SimDuration latency,
+                        int replicas_requested) override {
+    ++ops_completed_;
+    if (measuring_) {
+      ++result_.reads;
+      if (!r.ok) {
+        ++result_.errors;
+      } else {
+        result_.read_latency.record(latency);
+        ++result_.read_level_usage[replicas_requested];
+        if (r.stale) {
+          ++result_.stale_reads;
+          result_.staleness_age.record(r.staleness_age);
+        } else {
+          ++result_.fresh_reads;
+        }
+      }
+    }
+    note_progress();
+  }
+
+  void on_write_complete(const cluster::WriteResult& w,
+                         SimDuration latency) override {
+    ++ops_completed_;
+    if (measuring_) {
+      ++result_.writes;
+      if (!w.ok) {
+        ++result_.errors;
+      } else {
+        result_.write_latency.record(latency);
+      }
+    }
+    note_progress();
+  }
+
+  void on_client_finished() override {
+    ++clients_finished_;
+    if (clients_finished_ == clients_.size()) {
+      // Budget drained: stop the retuning timer so the queue can empty.
+      policy_timer_.stop();
+      finish_time_ = sim_.now();
+    }
+  }
+
+ private:
+  void begin_measurement() {
+    measuring_ = true;
+    measure_start_ = sim_.now();
+    ops_at_measure_start_ = ops_completed_;
+  }
+
+  void note_progress() {
+    // RMW issues two cluster ops but counts as one workload op; completion
+    // tracking is per cluster-op, which is what the drain condition needs.
+  }
+
+  RunResult collect() {
+    RunResult& r = result_;
+    r.label = cfg_.label;
+    r.policy_name = policy_->name();
+    r.ops = r.reads + r.writes;
+    r.policy_switches = policy_->switches();
+
+    const SimTime end = finish_time_ > 0 ? finish_time_ : sim_.now();
+    r.total_wall_s = to_seconds(end);
+    const SimTime measured_span = end - measure_start_;
+    r.duration_s = to_seconds(measured_span > 0 ? measured_span : end);
+    const std::uint64_t measured_ops = ops_completed_ - ops_at_measure_start_;
+    r.throughput = r.duration_s > 0
+                       ? static_cast<double>(measured_ops) / r.duration_s
+                       : 0.0;
+
+    const std::uint64_t judged = r.stale_reads + r.fresh_reads;
+    r.stale_fraction = judged ? static_cast<double>(r.stale_reads) /
+                                    static_cast<double>(judged)
+                              : 0.0;
+
+    double weighted = 0;
+    std::uint64_t level_total = 0;
+    for (const auto& [k, n] : r.read_level_usage) {
+      weighted += static_cast<double>(k) * static_cast<double>(n);
+      level_total += n;
+    }
+    r.avg_read_replicas =
+        level_total ? weighted / static_cast<double>(level_total) : 0.0;
+
+    // ---- whole-run resource usage and bill --------------------------------
+    const double wall_h = to_hours(end);
+    r.usage.node_hours = wall_h * static_cast<double>(cfg_.cluster.node_count);
+    r.usage.storage_gb_hours =
+        static_cast<double>(cluster_.storage_bytes()) / 1e9 * wall_h;
+    r.usage.io_requests = static_cast<std::uint64_t>(cluster_.disk_io());
+    r.usage.cross_dc_gb =
+        static_cast<double>(cluster_.net_stats().cross_dc_bytes()) / 1e9;
+    r.usage.egress_gb = 0.0;  // clients are in-region
+    r.energy_kwh = cfg_.power.energy_kwh(
+        cfg_.cluster.node_count, end > 0 ? end : 1, cluster_.total_busy_time(),
+        static_cast<double>(cluster_.net_stats().total_bytes()));
+    r.usage.energy_kwh = r.energy_kwh;
+    r.bill = cost::BillCalculator(cfg_.price_book).compute(r.usage);
+
+    r.final_state = monitor_.snapshot(end > 0 ? end : sim_.now());
+    r.net = cluster_.net_stats();
+    r.timeouts = cluster_.timeouts();
+    r.unavailable = cluster_.unavailable();
+    r.read_repairs = cluster_.read_repairs_sent();
+    r.sim_events = sim_.events_processed();
+    return r;
+  }
+
+  RunConfig cfg_;
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  monitor::Monitor monitor_;
+  Rng op_rng_;
+  std::unique_ptr<KeyDistribution> request_dist_;
+  std::unique_ptr<policy::ConsistencyPolicy> policy_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  sim::PeriodicTimer policy_timer_;
+
+  std::uint64_t ops_issued_ = 0;
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t next_insert_key_ = 0;
+  std::size_t clients_finished_ = 0;
+  bool measuring_ = false;
+  SimTime measure_start_ = 0;
+  std::uint64_t ops_at_measure_start_ = 0;
+  SimTime finish_time_ = 0;
+  RunResult result_;
+};
+
+}  // namespace
+
+RunResult run_experiment(const RunConfig& cfg) {
+  HARMONY_CHECK_MSG(cfg.policy != nullptr, "RunConfig.policy is required");
+  Runner runner(cfg);
+  return runner.run();
+}
+
+std::string RunResult::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s[%s]: %.0f ops/s, read p50=%s, stale=%.1f%%, avg_k=%.2f, "
+                "bill=$%.4f",
+                label.c_str(), policy_name.c_str(), throughput,
+                format_duration(read_latency.median()).c_str(),
+                stale_fraction * 100.0, avg_read_replicas, bill.total());
+  return buf;
+}
+
+}  // namespace harmony::workload

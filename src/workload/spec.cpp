@@ -1,0 +1,99 @@
+#include "workload/spec.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace harmony::workload {
+
+std::string to_string(OpType t) {
+  switch (t) {
+    case OpType::kRead: return "read";
+    case OpType::kUpdate: return "update";
+    case OpType::kInsert: return "insert";
+    case OpType::kReadModifyWrite: return "rmw";
+  }
+  return "?";
+}
+
+void WorkloadSpec::validate() const {
+  HARMONY_CHECK(record_count > 0);
+  HARMONY_CHECK(op_count > 0);
+  HARMONY_CHECK(value_size > 0);
+  HARMONY_CHECK(clients_per_dc > 0);
+  const double total = read_proportion + update_proportion +
+                       insert_proportion + rmw_proportion;
+  HARMONY_CHECK_MSG(std::abs(total - 1.0) < 1e-9,
+                    "operation proportions must sum to 1");
+}
+
+WorkloadSpec WorkloadSpec::scaled(double factor) const {
+  HARMONY_CHECK(factor > 0);
+  WorkloadSpec s = *this;
+  s.op_count = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(op_count) * factor));
+  s.record_count = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(record_count) * factor));
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_a() {
+  WorkloadSpec s;
+  s.name = "ycsb-a";
+  s.read_proportion = 0.5;
+  s.update_proportion = 0.5;
+  s.request_dist.kind = KeyDistributionKind::kScrambledZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_b() {
+  WorkloadSpec s;
+  s.name = "ycsb-b";
+  s.read_proportion = 0.95;
+  s.update_proportion = 0.05;
+  s.request_dist.kind = KeyDistributionKind::kScrambledZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_c() {
+  WorkloadSpec s;
+  s.name = "ycsb-c";
+  s.read_proportion = 1.0;
+  s.update_proportion = 0.0;
+  s.request_dist.kind = KeyDistributionKind::kScrambledZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_d() {
+  WorkloadSpec s;
+  s.name = "ycsb-d";
+  s.read_proportion = 0.95;
+  s.update_proportion = 0.0;
+  s.insert_proportion = 0.05;
+  s.request_dist.kind = KeyDistributionKind::kLatest;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ycsb_f() {
+  WorkloadSpec s;
+  s.name = "ycsb-f";
+  s.read_proportion = 0.5;
+  s.update_proportion = 0.0;
+  s.rmw_proportion = 0.5;
+  s.request_dist.kind = KeyDistributionKind::kScrambledZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::heavy_read_update() {
+  WorkloadSpec s;
+  s.name = "heavy-read-update";
+  s.read_proportion = 0.6;
+  s.update_proportion = 0.4;
+  // Plain (unscrambled) zipfian concentrates writes on a compact hot set,
+  // matching the paper's observation of very high stale rates under load.
+  s.request_dist.kind = KeyDistributionKind::kZipfian;
+  s.request_dist.zipf_theta = 0.99;
+  return s;
+}
+
+}  // namespace harmony::workload

@@ -1,0 +1,68 @@
+// YCSB-compatible workload specification.
+//
+// The paper drives every experiment with YCSB ("heavy read-update workload",
+// 3M/5M/10M operations). The spec mirrors YCSB's core properties: operation
+// mix, request distribution, record count and value size, plus the client
+// shape (closed-loop clients per DC, optional per-client target rate).
+// Workload E (scans) is intentionally unsupported: none of the paper's
+// experiments use scans, and Cassandra-range-scan semantics would not change
+// any measured quantity here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/distributions.h"
+
+namespace harmony::workload {
+
+enum class OpType : std::uint8_t { kRead, kUpdate, kInsert, kReadModifyWrite };
+
+std::string to_string(OpType t);
+
+struct WorkloadSpec {
+  std::string name = "custom";
+
+  std::uint64_t record_count = 100'000;
+  std::uint32_t value_size = 1024;  ///< YCSB default record (10 x 100B fields)
+  std::uint64_t op_count = 100'000;
+
+  double read_proportion = 0.5;
+  double update_proportion = 0.5;
+  double insert_proportion = 0.0;
+  double rmw_proportion = 0.0;
+
+  KeyDistributionSpec request_dist{};
+
+  int clients_per_dc = 32;
+  /// Per-client op rate cap (ops/s). 0 = unthrottled closed loop.
+  double target_rate_per_client = 0.0;
+
+  /// Fraction of writes among all operations (updates + inserts + rmw's
+  /// write half counts as write for rate purposes).
+  double write_fraction() const {
+    return update_proportion + insert_proportion + rmw_proportion;
+  }
+
+  /// Dataset size in GB (record_count x value_size), pre-replication.
+  double dataset_gb() const {
+    return static_cast<double>(record_count) * value_size / 1e9;
+  }
+
+  void validate() const;
+
+  /// Scale op/record counts by `factor` (for laptop-scale bench runs).
+  WorkloadSpec scaled(double factor) const;
+
+  // ---- presets -----------------------------------------------------------
+  static WorkloadSpec ycsb_a();  ///< update heavy: 50/50 read/update, zipfian
+  static WorkloadSpec ycsb_b();  ///< read mostly: 95/5
+  static WorkloadSpec ycsb_c();  ///< read only
+  static WorkloadSpec ycsb_d();  ///< read latest: 95/5 with latest distribution
+  static WorkloadSpec ycsb_f();  ///< read-modify-write: 50/50
+  /// The paper's experiment workload: an intensive read+update mix on a
+  /// zipfian-hot key space (§IV "heavy read-update workload").
+  static WorkloadSpec heavy_read_update();
+};
+
+}  // namespace harmony::workload

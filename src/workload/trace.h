@@ -1,0 +1,55 @@
+// Operation traces: the input of the application-behavior modeling pipeline
+// (paper §III-C, "metrics are collected based on application data access past
+// traces"). A trace is an ordered sequence of (time, op, key) records; the
+// synthetic generator produces multi-phase application lifetimes (e.g. a
+// webshop's browse / sale-rush / reporting phases) with distinct access
+// signatures per phase, which is what the offline modeler must rediscover.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "workload/spec.h"
+
+namespace harmony::workload {
+
+struct TraceRecord {
+  SimTime time = 0;
+  OpType op = OpType::kRead;
+  std::uint64_t key = 0;
+  std::uint32_t value_size = 0;
+};
+
+struct Trace {
+  std::vector<TraceRecord> records;
+
+  SimDuration duration() const {
+    return records.empty() ? 0 : records.back().time - records.front().time;
+  }
+};
+
+/// One phase of a synthetic application lifetime.
+struct TracePhase {
+  std::string label;
+  SimDuration duration = 60 * kSecond;
+  double ops_per_second = 1000;
+  double read_fraction = 0.9;
+  KeyDistributionSpec dist{};
+  std::uint64_t key_space = 100'000;
+  std::uint32_t value_size = 1024;
+};
+
+/// Generate a trace by concatenating phases; arrivals are Poisson within each
+/// phase. Deterministic in `seed`.
+Trace generate_phased_trace(const std::vector<TracePhase>& phases,
+                            std::uint64_t seed);
+
+/// Canonical 3-phase "webshop day" used by tests/examples: overnight
+/// read-mostly browsing, a write-heavy flash-sale burst, and a scan-like
+/// uniform reporting phase.
+std::vector<TracePhase> webshop_day_phases();
+
+}  // namespace harmony::workload

@@ -1,0 +1,162 @@
+#include "common/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace harmony {
+namespace {
+
+TEST(UniformKeys, Coverage) {
+  Rng rng(1);
+  UniformKeys d(100);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = d.next(rng);
+    ASSERT_LT(k, 100u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(UniformKeys, GrowExtendsDomain) {
+  Rng rng(2);
+  UniformKeys d(10);
+  d.grow(20);
+  EXPECT_EQ(d.item_count(), 20u);
+  bool above = false;
+  for (int i = 0; i < 1000; ++i) above |= d.next(rng) >= 10;
+  EXPECT_TRUE(above);
+}
+
+// Zipfian: empirical frequency of the hottest ranks must match the pmf.
+class ZipfianPmf : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianPmf, EmpiricalMatchesTheoretical) {
+  const double theta = GetParam();
+  Rng rng(42);
+  const std::uint64_t n = 1000;
+  ZipfianKeys d(n, theta);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) ++counts[d.next(rng)];
+  for (std::uint64_t rank : {0ULL, 1ULL, 2ULL, 10ULL}) {
+    const double expected = d.pmf(rank);
+    const double got = static_cast<double>(counts[rank]) / samples;
+    EXPECT_NEAR(got, expected, expected * 0.15 + 0.001)
+        << "rank " << rank << " theta " << theta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfianPmf,
+                         ::testing::Values(0.5, 0.8, 0.99));
+
+TEST(ZipfianKeys, RankZeroIsHottest) {
+  Rng rng(7);
+  ZipfianKeys d(10000);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[d.next(rng)];
+  for (const auto& [k, c] : counts) {
+    if (k == 0) continue;
+    EXPECT_GE(counts[0], c);
+  }
+}
+
+TEST(ZipfianKeys, PmfSumsToOne) {
+  ZipfianKeys d(500, 0.99);
+  double sum = 0;
+  for (std::uint64_t r = 0; r < 500; ++r) sum += d.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfianKeys, RejectsThetaOutOfRange) {
+  EXPECT_THROW(ZipfianKeys(10, 1.0), CheckError);
+  EXPECT_THROW(ZipfianKeys(10, 0.0), CheckError);
+}
+
+TEST(ZipfianKeys, GrowKeepsDistributionValid) {
+  Rng rng(3);
+  ZipfianKeys d(100);
+  d.grow(200);
+  EXPECT_EQ(d.item_count(), 200u);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(d.next(rng), 200u);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeys) {
+  Rng rng(11);
+  ScrambledZipfianKeys d(10000);
+  // The two hottest scrambled keys should NOT be adjacent small indices.
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[d.next(rng)];
+  std::uint64_t hottest = 0;
+  int hottest_count = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > hottest_count) {
+      hottest = k;
+      hottest_count = c;
+    }
+  }
+  EXPECT_NE(hottest, 0u);  // rank 0 maps away from index 0 with high prob.
+}
+
+TEST(LatestKeys, PrefersFrontier) {
+  Rng rng(13);
+  LatestKeys d(1000);
+  std::uint64_t hits_near_frontier = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    if (d.next(rng) >= 990) ++hits_near_frontier;
+  }
+  // Top-10 most recent items should receive a large share under theta=0.99.
+  EXPECT_GT(static_cast<double>(hits_near_frontier) / samples, 0.3);
+}
+
+TEST(LatestKeys, GrowMovesFrontier) {
+  Rng rng(13);
+  LatestKeys d(100);
+  d.grow(200);
+  bool saw_new = false;
+  for (int i = 0; i < 2000; ++i) saw_new |= d.next(rng) >= 100;
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(HotSpotKeys, RespectsFractions) {
+  Rng rng(17);
+  HotSpotKeys d(1000, 0.1, 0.8);
+  std::uint64_t hot = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    if (d.next(rng) < 100) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / samples, 0.8, 0.01);
+}
+
+TEST(KeyDistributionSpec, BuildsEveryKind) {
+  Rng rng(19);
+  for (auto kind : {KeyDistributionKind::kUniform, KeyDistributionKind::kZipfian,
+                    KeyDistributionKind::kScrambledZipfian,
+                    KeyDistributionKind::kLatest, KeyDistributionKind::kHotSpot}) {
+    KeyDistributionSpec spec;
+    spec.kind = kind;
+    auto d = spec.build(1000);
+    ASSERT_NE(d, nullptr) << to_string(kind);
+    EXPECT_EQ(d->item_count(), 1000u);
+    for (int i = 0; i < 100; ++i) ASSERT_LT(d->next(rng), 1000u);
+    // clone preserves behaviour class
+    auto c = d->clone();
+    EXPECT_EQ(c->name(), d->name());
+  }
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace harmony

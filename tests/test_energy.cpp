@@ -1,0 +1,64 @@
+#include "cost/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace harmony::cost {
+namespace {
+
+TEST(Energy, IdleFleetDrawsIdlePower) {
+  PowerModel p;
+  const double watts = p.average_watts(10, kHour, 0, 0);
+  EXPECT_NEAR(watts, 10 * p.idle_watts, 1e-9);
+}
+
+TEST(Energy, FullyBusyFleetDrawsBusyPower) {
+  PowerModel p;
+  const double watts = p.average_watts(10, kHour, 10 * kHour, 0);
+  EXPECT_NEAR(watts, 10 * p.busy_watts, 1e-9);
+}
+
+TEST(Energy, UtilizationInterpolatesLinearly) {
+  PowerModel p;
+  const double half = p.average_watts(4, kHour, 2 * kHour, 0);
+  EXPECT_NEAR(half, 4 * (p.idle_watts + 0.5 * (p.busy_watts - p.idle_watts)),
+              1e-9);
+}
+
+TEST(Energy, NetworkAddsNicPower) {
+  PowerModel p;
+  const double quiet = p.average_watts(1, kSecond, 0, 0);
+  // 1 GB over 1 second = 8 Gbit/s.
+  const double busy_nic = p.average_watts(1, kSecond, 0, 1e9);
+  EXPECT_NEAR(busy_nic - quiet, 8.0 * p.nic_watts_per_gbps, 1e-6);
+}
+
+TEST(Energy, KwhMatchesWattsTimesHours) {
+  PowerModel p;
+  const double kwh = p.energy_kwh(10, 2 * kHour, 0, 0);
+  EXPECT_NEAR(kwh, 10 * p.idle_watts * 2.0 / 1000.0, 1e-9);
+}
+
+TEST(Energy, UtilizationClamped) {
+  PowerModel p;
+  // busy_time exceeding wall*nodes clamps at 100%.
+  const double watts = p.average_watts(1, kSecond, 10 * kSecond, 0);
+  EXPECT_NEAR(watts, p.busy_watts, 1e-9);
+}
+
+TEST(Energy, RejectsDegenerateInputs) {
+  PowerModel p;
+  EXPECT_THROW(p.average_watts(0, kSecond, 0, 0), harmony::CheckError);
+  EXPECT_THROW(p.average_watts(1, 0, 0, 0), harmony::CheckError);
+}
+
+TEST(Energy, MoreWorkMoreEnergy) {
+  PowerModel p;
+  const double idle = p.energy_kwh(5, kHour, 0, 0);
+  const double busy = p.energy_kwh(5, kHour, 3 * kHour, 5e9);
+  EXPECT_GT(busy, idle);
+}
+
+}  // namespace
+}  // namespace harmony::cost

@@ -1,0 +1,135 @@
+// Datacenter-local consistency levels (LOCAL_ONE / LOCAL_QUORUM /
+// EACH_QUORUM) — the "geographical policies" of §III-C — exercised against
+// the cluster, including partition-like failure patterns.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "core/behavior.h"
+#include "core/static_policy.h"
+#include "workload/runner.h"
+
+namespace harmony::cluster {
+namespace {
+
+ClusterConfig two_dc_config() {
+  ClusterConfig cfg;
+  cfg.node_count = 10;
+  cfg.dc_count = 2;
+  cfg.rf = 5;  // NTS 3/2
+  cfg.latency = net::TieredLatencyModel::grid5000_two_sites();
+  cfg.request_timeout = 300 * kMillisecond;
+  return cfg;
+}
+
+TEST(LocalLevels, LocalQuorumSurvivesRemoteDcLoss) {
+  sim::Simulation sim(1);
+  Cluster c(sim, two_dc_config());
+  c.preload_range(50, 64);
+  for (const auto n : c.topology().nodes_in_dc(1)) c.kill_node(n);
+
+  std::optional<ReadResult> local;
+  c.client_read(0, 7, resolve(Level::kLocalQuorum, 5, 3),
+                [&](const ReadResult& r) { local = r; });
+  sim.run();
+  ASSERT_TRUE(local.has_value());
+  EXPECT_TRUE(local->ok);  // dc0's 3 replicas can still form a local quorum
+}
+
+TEST(LocalLevels, GlobalAllFailsWhenRemoteDcDown) {
+  sim::Simulation sim(2);
+  Cluster c(sim, two_dc_config());
+  c.preload_range(50, 64);
+  for (const auto n : c.topology().nodes_in_dc(1)) c.kill_node(n);
+
+  std::optional<ReadResult> global;
+  c.client_read(0, 7, resolve(Level::kAll, 5, 3),
+                [&](const ReadResult& r) { global = r; });
+  sim.run();
+  ASSERT_TRUE(global.has_value());
+  EXPECT_FALSE(global->ok);  // needs dc1's replicas
+}
+
+TEST(LocalLevels, EachQuorumFailsWhenOneDcLacksQuorum) {
+  sim::Simulation sim(3);
+  Cluster c(sim, two_dc_config());
+  // dc1 has 2 replicas per key; kill enough dc1 nodes that no key keeps 2.
+  const auto& dc1 = c.topology().nodes_in_dc(1);
+  for (std::size_t i = 0; i + 1 < dc1.size(); ++i) c.kill_node(dc1[i]);
+
+  bool ok = true;
+  c.client_write(0, 7, 64, resolve(Level::kEachQuorum, 5, 3),
+                 [&](const WriteResult& w) { ok = w.ok; });
+  sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_GE(c.unavailable(), 1u);
+}
+
+TEST(LocalLevels, EachQuorumWriteReachesBothDcs) {
+  sim::Simulation sim(4);
+  Cluster c(sim, two_dc_config());
+  std::optional<Version> v;
+  c.client_write(0, 9, 64, resolve(Level::kEachQuorum, 5, 3),
+                 [&](const WriteResult& w) {
+                   ASSERT_TRUE(w.ok);
+                   v = w.version;
+                 });
+  sim.run();
+  ASSERT_TRUE(v.has_value());
+  int dc0_holding = 0, dc1_holding = 0;
+  for (const auto r : c.replicas_for(9)) {
+    const auto stored = c.node(r).store().read(9);
+    if (stored.has_value() && stored->version == *v) {
+      (c.topology().dc_of(r) == 0 ? dc0_holding : dc1_holding)++;
+    }
+  }
+  EXPECT_GE(dc0_holding, 2);  // quorum of 3
+  EXPECT_GE(dc1_holding, 2);  // quorum of 2
+}
+
+TEST(LocalLevels, LocalOneFasterThanGlobalQuorumForRemoteClients) {
+  auto time_read = [](ReplicaRequirement req, std::uint64_t seed) {
+    sim::Simulation sim(seed);
+    Cluster c(sim, two_dc_config());
+    c.preload_range(50, 64);
+    SimTime done = 0;
+    // dc1 clients have only 2 local replicas: global quorum (3) goes remote.
+    c.client_read(1, 7, req, [&](const ReadResult& r) {
+      ASSERT_TRUE(r.ok);
+      done = sim.now();
+    });
+    sim.run();
+    return done;
+  };
+  const auto local = time_read(resolve(Level::kLocalOne, 5, 2), 5);
+  const auto global = time_read(resolve(Level::kQuorum, 5, 2), 5);
+  EXPECT_LT(local, global);
+}
+
+TEST(LocalLevels, GeoPolicyRunsEndToEnd) {
+  workload::RunConfig cfg;
+  cfg.cluster = two_dc_config();
+  cfg.workload = workload::WorkloadSpec::ycsb_b();
+  cfg.workload.op_count = 8000;
+  cfg.workload.record_count = 500;
+  cfg.workload.clients_per_dc = 8;
+  cfg.policy = core::static_level(Level::kLocalQuorum, Level::kLocalQuorum);
+  cfg.warmup = 300 * kMillisecond;
+  cfg.seed = 17;
+  const auto r = workload::run_experiment(cfg);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.ops, 4000u);
+  EXPECT_EQ(r.policy_name, "static-LOCAL_QUORUM");
+}
+
+TEST(LocalLevels, GenericRulesIncludeGeoPolicy) {
+  bool found = false;
+  for (const auto& rule : core::generic_rules()) {
+    if (rule.label.find("local-quorum") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace harmony::cluster

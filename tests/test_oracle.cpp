@@ -1,0 +1,118 @@
+#include "cluster/staleness_oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::cluster {
+namespace {
+
+TEST(Oracle, FreshWhenNothingCommitted) {
+  StalenessOracle o;
+  const auto j = o.judge(1, kNoVersion, 100);
+  EXPECT_FALSE(j.stale);
+  EXPECT_EQ(o.fresh_reads(), 1u);
+}
+
+TEST(Oracle, FreshWhenReturningLatest) {
+  StalenessOracle o;
+  const Version v{50, 1};
+  o.record_commit(1, v, 60);
+  const auto j = o.judge(1, v, 100);
+  EXPECT_FALSE(j.stale);
+}
+
+TEST(Oracle, StaleWhenMissingCommittedWrite) {
+  StalenessOracle o;
+  const Version v1{50, 1}, v2{80, 2};
+  o.record_commit(1, v1, 60);
+  o.record_commit(1, v2, 90);
+  const auto j = o.judge(1, v1, 100);  // read started after v2 committed
+  EXPECT_TRUE(j.stale);
+  EXPECT_EQ(j.age, 30);  // 80 - 50
+  EXPECT_EQ(o.stale_reads(), 1u);
+}
+
+TEST(Oracle, WriteCommittedAfterReadStartDoesNotCount) {
+  StalenessOracle o;
+  const Version v1{50, 1}, v2{80, 2};
+  o.record_commit(1, v1, 60);
+  o.record_commit(1, v2, 150);  // commits after the read started
+  const auto j = o.judge(1, v1, 100);
+  EXPECT_FALSE(j.stale);
+}
+
+TEST(Oracle, ReturningNewerThanCommittedIsFresh) {
+  // A read can return a version whose write has not yet reached its ack
+  // count (it saw the replica early). That is not stale.
+  StalenessOracle o;
+  o.record_commit(1, {50, 1}, 60);
+  const auto j = o.judge(1, {80, 2}, 100);
+  EXPECT_FALSE(j.stale);
+}
+
+TEST(Oracle, KeysAreIndependent) {
+  StalenessOracle o;
+  o.record_commit(1, {50, 1}, 60);
+  const auto j = o.judge(2, kNoVersion, 100);
+  EXPECT_FALSE(j.stale);
+}
+
+TEST(Oracle, OutOfTimestampOrderCommits) {
+  // Two concurrent writes can commit in the opposite of timestamp order;
+  // the oracle must track the max version, not the last commit.
+  StalenessOracle o;
+  o.record_commit(1, {80, 2}, 90);
+  o.record_commit(1, {50, 1}, 95);  // older write commits later
+  const auto j = o.judge(1, {80, 2}, 100);
+  EXPECT_FALSE(j.stale);
+  const auto j2 = o.judge(1, {50, 1}, 100);
+  EXPECT_TRUE(j2.stale);
+}
+
+TEST(Oracle, StaleFraction) {
+  StalenessOracle o;
+  o.record_commit(1, {10, 1}, 20);
+  o.record_commit(1, {30, 2}, 40);
+  o.judge(1, {30, 2}, 50);  // fresh
+  o.judge(1, {10, 1}, 50);  // stale
+  o.judge(1, {10, 1}, 50);  // stale
+  EXPECT_NEAR(o.stale_fraction(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(o.judged_reads(), 3u);
+}
+
+TEST(Oracle, AgeHistogramOnlyTracksStale) {
+  StalenessOracle o;
+  o.record_commit(1, {10, 1}, 20);
+  o.record_commit(1, {100, 2}, 110);
+  o.judge(1, {10, 1}, 200);
+  EXPECT_EQ(o.staleness_age().count(), 1u);
+  EXPECT_EQ(o.staleness_age().max(), 90);
+}
+
+TEST(Oracle, PruningKeepsRecentHistory) {
+  StalenessOracle o;
+  // 100 commits; only the most recent ~16 are retained, which is all a
+  // plausible in-flight read needs.
+  for (int i = 0; i < 100; ++i) {
+    o.record_commit(1, {i * 10, static_cast<std::uint64_t>(i)}, i * 10 + 5);
+  }
+  const auto j = o.judge(1, {990, 99}, 1000);
+  EXPECT_FALSE(j.stale);
+  const auto j2 = o.judge(1, {980, 98}, 1000);
+  EXPECT_TRUE(j2.stale);
+}
+
+TEST(Oracle, ResetCounters) {
+  StalenessOracle o;
+  o.record_commit(1, {10, 1}, 20);
+  o.judge(1, {10, 1}, 30);
+  o.reset_counters();
+  EXPECT_EQ(o.judged_reads(), 0u);
+  EXPECT_EQ(o.staleness_age().count(), 0u);
+  // History survives: only counters reset.
+  o.record_commit(1, {50, 2}, 60);
+  const auto j = o.judge(1, {10, 1}, 100);
+  EXPECT_TRUE(j.stale);
+}
+
+}  // namespace
+}  // namespace harmony::cluster

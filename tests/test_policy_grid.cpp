@@ -1,0 +1,129 @@
+// Cross-policy invariants: every policy in the library must satisfy the same
+// basic contract when run through the experiment harness — parameterized over
+// the whole policy zoo (static levels, Harmony, Bismar, freshness, geo,
+// related-work baselines).
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/bismar.h"
+#include "core/freshness_sla.h"
+#include "core/harmony.h"
+#include "core/static_policy.h"
+#include "workload/runner.h"
+
+namespace harmony {
+namespace {
+
+struct PolicyCase {
+  std::string name;
+  policy::PolicyFactory factory;
+};
+
+PolicyCase make_case(std::string name, policy::PolicyFactory f) {
+  return {std::move(name), std::move(f)};
+}
+
+std::vector<PolicyCase> all_policies() {
+  std::vector<PolicyCase> cases;
+  cases.push_back(make_case("one", core::static_level(cluster::Level::kOne)));
+  cases.push_back(make_case("two", core::static_level(cluster::Level::kTwo)));
+  cases.push_back(
+      make_case("quorum", core::static_level(cluster::Level::kQuorum)));
+  cases.push_back(make_case("all", core::static_level(cluster::Level::kAll)));
+  cases.push_back(make_case("local_quorum",
+                            core::static_level(cluster::Level::kLocalQuorum,
+                                               cluster::Level::kLocalQuorum)));
+  cases.push_back(make_case("harmony05", core::harmony_policy(0.05)));
+  cases.push_back(make_case("harmony40", core::harmony_policy(0.40)));
+  cases.push_back(make_case("bismar", core::bismar_policy()));
+  core::FreshnessSlaOptions fresh;
+  fresh.deadline = 5 * kMillisecond;
+  cases.push_back(make_case("freshness", core::freshness_sla_policy(fresh)));
+  cases.push_back(
+      make_case("conflict_rationing", core::conflict_rationing_policy()));
+  cases.push_back(make_case("rw_ratio", core::rw_ratio_policy()));
+  return cases;
+}
+
+class PolicyGrid : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  workload::RunConfig config() const {
+    workload::RunConfig cfg;
+    cfg.cluster.node_count = 10;
+    cfg.cluster.dc_count = 2;
+    cfg.cluster.rf = 5;
+    cfg.cluster.latency = net::TieredLatencyModel::ec2_two_az();
+    cfg.workload = workload::WorkloadSpec::ycsb_a();
+    cfg.workload.op_count = 8000;
+    cfg.workload.record_count = 500;
+    cfg.workload.clients_per_dc = 8;
+    cfg.policy_tick = 200 * kMillisecond;
+    cfg.warmup = 300 * kMillisecond;
+    cfg.seed = 99;
+    return cfg;
+  }
+};
+
+TEST_P(PolicyGrid, HarnessContractHolds) {
+  const auto cases = all_policies();
+  const auto& c = cases[GetParam()];
+  auto cfg = config();
+  cfg.label = c.name;
+  cfg.policy = c.factory;
+  const auto r = workload::run_experiment(cfg);
+
+  // Every operation completes without error on a healthy cluster.
+  EXPECT_EQ(r.errors, 0u) << c.name;
+  EXPECT_GT(r.ops, 4000u) << c.name;
+  EXPECT_GT(r.throughput, 0.0) << c.name;
+
+  // Latency measurements are coherent.
+  EXPECT_GT(r.read_latency.count(), 0u) << c.name;
+  EXPECT_LE(r.read_latency.percentile(50), r.read_latency.percentile(99))
+      << c.name;
+
+  // The replica knob stays in range.
+  EXPECT_GE(r.avg_read_replicas, 1.0) << c.name;
+  EXPECT_LE(r.avg_read_replicas, 5.0) << c.name;
+
+  // Billing is present and consistent.
+  EXPECT_GT(r.bill.total(), 0.0) << c.name;
+  EXPECT_NEAR(r.bill.total(),
+              r.bill.instances + r.bill.storage + r.bill.network + r.bill.energy,
+              1e-12)
+      << c.name;
+
+  // Staleness accounting is self-consistent.
+  const auto judged = r.stale_reads + r.fresh_reads;
+  EXPECT_GT(judged, 0u) << c.name;
+  if (judged > 0) {
+    EXPECT_NEAR(r.stale_fraction,
+                static_cast<double>(r.stale_reads) /
+                    static_cast<double>(judged),
+                1e-12)
+        << c.name;
+  }
+}
+
+TEST_P(PolicyGrid, DeterministicAcrossRepeats) {
+  const auto cases = all_policies();
+  const auto& c = cases[GetParam()];
+  auto cfg = config();
+  cfg.workload.op_count = 4000;
+  cfg.policy = c.factory;
+  const auto a = workload::run_experiment(cfg);
+  const auto b = workload::run_experiment(cfg);
+  EXPECT_EQ(a.sim_events, b.sim_events) << c.name;
+  EXPECT_EQ(a.stale_reads, b.stale_reads) << c.name;
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput) << c.name;
+  EXPECT_EQ(a.policy_switches, b.policy_switches) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyGrid, ::testing::Range<std::size_t>(0, 11),
+    [](const ::testing::TestParamInfo<std::size_t>& param_info) {
+      return all_policies()[param_info.param].name;
+    });
+
+}  // namespace
+}  // namespace harmony

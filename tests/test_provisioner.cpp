@@ -1,0 +1,105 @@
+#include "core/provisioner.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::core {
+namespace {
+
+ProvisioningRequest base_request() {
+  ProvisioningRequest r;
+  r.demand_ops_per_s = 20'000;
+  r.read_fraction = 0.8;
+  r.rf = 3;
+  r.read_replicas = 1;
+  r.tolerated_failures = 1;
+  return r;
+}
+
+TEST(Provisioner, ReplicaWorkGrowsWithLevelAndWrites) {
+  EXPECT_LT(StorageProvisioner::replica_work_per_op(1.0, 1, 3),
+            StorageProvisioner::replica_work_per_op(1.0, 3, 3));
+  EXPECT_LT(StorageProvisioner::replica_work_per_op(1.0, 1, 3),
+            StorageProvisioner::replica_work_per_op(0.0, 1, 3));
+  // Pure reads at ONE cost exactly one replica op.
+  EXPECT_DOUBLE_EQ(StorageProvisioner::replica_work_per_op(1.0, 1, 5), 1.0);
+  // Pure writes cost rf replica ops.
+  EXPECT_DOUBLE_EQ(StorageProvisioner::replica_work_per_op(0.0, 1, 5), 5.0);
+}
+
+TEST(Provisioner, CapacityScalesLinearly) {
+  const auto r = base_request();
+  const double c10 = StorageProvisioner::capacity_ops_per_s(10, r);
+  const double c20 = StorageProvisioner::capacity_ops_per_s(20, r);
+  EXPECT_NEAR(c20, 2 * c10, 1e-6);
+}
+
+TEST(Provisioner, PlanIsFeasibleAndMinimal) {
+  StorageProvisioner p;
+  const auto r = base_request();
+  const auto plan = p.plan(r);
+  ASSERT_TRUE(plan.feasible) << plan.rationale;
+  EXPECT_GE(plan.degraded_capacity_ops_per_s, r.demand_ops_per_s);
+  // Minimality: one fewer node must not satisfy demand.
+  const double cap_minus =
+      StorageProvisioner::capacity_ops_per_s(plan.nodes - 1 - r.tolerated_failures, r);
+  EXPECT_LT(cap_minus, r.demand_ops_per_s);
+}
+
+TEST(Provisioner, StrongerConsistencyNeedsMoreNodes) {
+  StorageProvisioner p;
+  auto weak = base_request();
+  weak.read_replicas = 1;
+  auto strong = base_request();
+  strong.read_replicas = 3;
+  EXPECT_LT(p.plan(weak).nodes, p.plan(strong).nodes);
+}
+
+TEST(Provisioner, FailureToleranceAddsNodes) {
+  StorageProvisioner p;
+  auto fragile = base_request();
+  fragile.tolerated_failures = 0;
+  auto robust = base_request();
+  robust.tolerated_failures = 3;
+  EXPECT_LT(p.plan(fragile).nodes, p.plan(robust).nodes);
+}
+
+TEST(Provisioner, BillGrowsWithNodes) {
+  StorageProvisioner p;
+  const auto plans = p.sweep(base_request());
+  ASSERT_GT(plans.size(), 2u);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_GT(plans[i].monthly_bill.instances,
+              plans[i - 1].monthly_bill.instances);
+  }
+}
+
+TEST(Provisioner, InfeasibleWhenDemandTooHigh) {
+  StorageProvisioner p;
+  auto r = base_request();
+  r.demand_ops_per_s = 1e9;
+  r.max_nodes = 16;
+  const auto plan = p.plan(r);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.rationale.find("demand exceeds"), std::string::npos);
+}
+
+TEST(Provisioner, UtilizationHeadroomRespected) {
+  StorageProvisioner p;
+  auto r = base_request();
+  r.target_utilization = 0.5;
+  const auto plan = p.plan(r);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.utilization_at_demand, 0.5 + 1e-9);
+}
+
+TEST(Provisioner, Grid5000BookMakesInstancesFree) {
+  StorageProvisioner p;
+  auto r = base_request();
+  r.price_book = cost::PriceBook::grid5000();
+  const auto plan = p.plan(r);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.monthly_bill.instances, 0.0);
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,143 @@
+#include "workload/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/static_policy.h"
+
+namespace harmony::workload {
+namespace {
+
+RunConfig small_run(std::uint64_t ops = 4000) {
+  RunConfig cfg;
+  cfg.cluster.node_count = 8;
+  cfg.cluster.dc_count = 2;
+  cfg.cluster.rf = 3;
+  cfg.cluster.latency = net::TieredLatencyModel::ec2_two_az();
+  cfg.workload = WorkloadSpec::ycsb_a();
+  cfg.workload.op_count = ops;
+  cfg.workload.record_count = 500;
+  cfg.workload.clients_per_dc = 8;
+  cfg.policy = core::static_level(cluster::Level::kOne);
+  cfg.warmup = 200 * kMillisecond;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Runner, CompletesAllOperations) {
+  const auto r = run_experiment(small_run());
+  EXPECT_GT(r.reads, 1000u);
+  EXPECT_GT(r.writes, 1000u);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_GT(r.duration_s, 0.0);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.policy_name, "static-ONE");
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  const auto a = run_experiment(small_run());
+  const auto b = run_experiment(small_run());
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.stale_reads, b.stale_reads);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.bill.total(), b.bill.total());
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(Runner, SeedChangesOutcome) {
+  auto cfg = small_run();
+  cfg.seed = 12;
+  const auto a = run_experiment(small_run());
+  const auto b = run_experiment(cfg);
+  EXPECT_NE(a.sim_events, b.sim_events);
+}
+
+TEST(Runner, LatencyHistogramsPopulated) {
+  const auto r = run_experiment(small_run());
+  EXPECT_GT(r.read_latency.count(), 0u);
+  EXPECT_GT(r.write_latency.count(), 0u);
+  EXPECT_GT(r.read_latency.mean(), 0.0);
+  EXPECT_LE(r.read_latency.percentile(50), r.read_latency.percentile(99));
+}
+
+TEST(Runner, LevelUsageTracksPolicy) {
+  auto cfg = small_run();
+  cfg.policy = core::static_counts(2, 1);
+  const auto r = run_experiment(cfg);
+  ASSERT_EQ(r.read_level_usage.size(), 1u);
+  EXPECT_EQ(r.read_level_usage.begin()->first, 2);
+  EXPECT_DOUBLE_EQ(r.avg_read_replicas, 2.0);
+}
+
+TEST(Runner, BillDecompositionSumsToTotal) {
+  const auto r = run_experiment(small_run());
+  EXPECT_NEAR(r.bill.total(),
+              r.bill.instances + r.bill.storage + r.bill.network + r.bill.energy,
+              1e-12);
+  EXPECT_GT(r.bill.instances, 0.0);
+  EXPECT_GT(r.usage.node_hours, 0.0);
+  EXPECT_GT(r.usage.io_requests, 0u);
+  EXPECT_GT(r.usage.cross_dc_gb, 0.0);
+}
+
+TEST(Runner, StaleFractionConsistentWithCounts) {
+  const auto r = run_experiment(small_run());
+  const auto judged = r.stale_reads + r.fresh_reads;
+  ASSERT_GT(judged, 0u);
+  EXPECT_NEAR(r.stale_fraction,
+              static_cast<double>(r.stale_reads) / static_cast<double>(judged),
+              1e-12);
+}
+
+TEST(Runner, ThroughputMatchesOpsOverTime) {
+  const auto r = run_experiment(small_run());
+  // ops counted post-warmup; throughput = measured ops / measured span.
+  EXPECT_NEAR(r.throughput * r.duration_s, static_cast<double>(r.ops),
+              static_cast<double>(r.ops) * 0.05);
+}
+
+TEST(Runner, TargetRateThrottlesClients) {
+  auto fast = small_run(3000);
+  const auto unthrottled = run_experiment(fast);
+  auto slow = small_run(3000);
+  slow.workload.target_rate_per_client = 20.0;  // 16 clients * 20 = 320 ops/s
+  const auto throttled = run_experiment(slow);
+  EXPECT_LT(throttled.throughput, unthrottled.throughput);
+  EXPECT_NEAR(throttled.throughput, 320.0, 80.0);
+}
+
+TEST(Runner, RmwWorkloadRuns) {
+  auto cfg = small_run(3000);
+  cfg.workload = WorkloadSpec::ycsb_f();
+  cfg.workload.op_count = 3000;
+  cfg.workload.record_count = 500;
+  cfg.workload.clients_per_dc = 8;
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.reads, 0u);
+  EXPECT_GT(r.writes, 0u);  // the write halves of RMW ops
+}
+
+TEST(Runner, InsertWorkloadGrowsKeySpace) {
+  auto cfg = small_run(3000);
+  cfg.workload = WorkloadSpec::ycsb_d();
+  cfg.workload.op_count = 3000;
+  cfg.workload.record_count = 500;
+  cfg.workload.clients_per_dc = 8;
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.writes, 0u);
+  EXPECT_EQ(r.errors, 0u);
+}
+
+TEST(Runner, RequiresPolicy) {
+  RunConfig cfg;
+  EXPECT_THROW(run_experiment(cfg), CheckError);
+}
+
+TEST(Runner, SummaryContainsPolicyName) {
+  const auto r = run_experiment(small_run(2000));
+  EXPECT_NE(r.summary().find("static-ONE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony::workload

@@ -1,0 +1,92 @@
+// Availability under scheduled failures: the paper's motivation ties
+// consistency level to availability — strong levels become unavailable when
+// replicas die, weak levels keep serving.
+#include <gtest/gtest.h>
+
+#include "core/harmony.h"
+#include "core/static_policy.h"
+#include "workload/runner.h"
+
+namespace harmony::workload {
+namespace {
+
+RunConfig faulty_config(std::uint64_t seed) {
+  RunConfig cfg;
+  cfg.cluster.node_count = 10;
+  cfg.cluster.dc_count = 2;
+  cfg.cluster.rf = 5;
+  cfg.cluster.latency = net::TieredLatencyModel::ec2_two_az();
+  cfg.cluster.request_timeout = 150 * kMillisecond;
+  cfg.workload = WorkloadSpec::ycsb_a();
+  cfg.workload.op_count = 12000;
+  cfg.workload.record_count = 400;
+  cfg.workload.clients_per_dc = 8;
+  cfg.warmup = 200 * kMillisecond;
+  cfg.seed = seed;
+  // Two nodes die mid-run; one comes back.
+  cfg.faults.push_back({400 * kMillisecond, 2, true});
+  cfg.faults.push_back({500 * kMillisecond, 7, true});
+  cfg.faults.push_back({900 * kMillisecond, 2, false});
+  return cfg;
+}
+
+TEST(RunnerFaults, WeakLevelsRideThroughFailures) {
+  auto cfg = faulty_config(5);
+  cfg.policy = core::static_level(cluster::Level::kOne);
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.ops, 8000u);
+  // ONE needs a single live replica: failures barely register.
+  EXPECT_LT(static_cast<double>(r.errors) / static_cast<double>(r.ops), 0.01)
+      << r.summary();
+}
+
+TEST(RunnerFaults, StrongLevelLosesAvailability) {
+  auto weak_cfg = faulty_config(5);
+  weak_cfg.policy = core::static_level(cluster::Level::kOne);
+  const auto weak = run_experiment(weak_cfg);
+
+  auto strong_cfg = faulty_config(5);
+  strong_cfg.policy = core::static_level(cluster::Level::kAll);
+  const auto strong = run_experiment(strong_cfg);
+
+  // ALL requires every replica: keys whose replica set includes a dead node
+  // fail until revival. The error gap is the availability cost of strong
+  // consistency the paper's introduction describes.
+  EXPECT_GT(strong.errors, weak.errors * 5 + 10) << strong.summary();
+}
+
+TEST(RunnerFaults, RevivalRestoresService) {
+  // After the revive event, errors stop accumulating for quorum ops that
+  // needed the revived node.
+  auto cfg = faulty_config(6);
+  cfg.policy = core::static_level(cluster::Level::kAll);
+  // Compare against a run where node 2 never comes back.
+  auto worse = cfg;
+  worse.faults.pop_back();
+  const auto healed = run_experiment(cfg);
+  const auto broken = run_experiment(worse);
+  EXPECT_LT(healed.errors, broken.errors) << healed.summary();
+}
+
+TEST(RunnerFaults, HarmonyKeepsAdaptingThroughFailures) {
+  auto cfg = faulty_config(7);
+  cfg.policy = core::harmony_policy(0.2);
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.ops, 8000u);
+  // Failures shrink the live propagation profile but the controller must
+  // neither crash nor wedge at an invalid level.
+  EXPECT_GE(r.avg_read_replicas, 1.0);
+  EXPECT_LE(r.avg_read_replicas, 5.0);
+}
+
+TEST(RunnerFaults, FaultsAreDeterministic) {
+  auto cfg = faulty_config(8);
+  cfg.policy = core::static_level(cluster::Level::kQuorum);
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+}  // namespace
+}  // namespace harmony::workload

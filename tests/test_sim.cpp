@@ -1,0 +1,156 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace harmony::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(300, [&] { order.push_back(3); });
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulation, SameInstantFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation sim;
+  SimTime inner_time = -1;
+  sim.schedule(10, [&] {
+    sim.schedule(5, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, 15);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  SimTime t = -1;
+  sim.schedule(100, [&] {
+    sim.schedule(-50, [&] { t = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(t, 100);
+}
+
+TEST(Simulation, ScheduleAtPastThrows) {
+  Simulation sim;
+  sim.schedule(100, [&] {
+    EXPECT_THROW(sim.schedule_at(50, [] {}), CheckError);
+  });
+  sim.run();
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  auto h = sim.schedule(10, [&] { ran = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulation, CancelAfterRunIsSafe) {
+  Simulation sim;
+  auto h = sim.schedule(10, [] {});
+  sim.run();
+  h.cancel();  // no-op, no crash
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(i * 100, [&] { ++count; });
+  }
+  sim.run_until(450);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.now(), 450);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, StopFromCallback) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(i, [&] {
+      ++count;
+      if (count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, EventsProcessedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulation, DeterministicRngForks) {
+  Simulation a(99), b(99);
+  Rng ra = a.fork_rng(5), rb = b.fork_rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ra.next(), rb.next());
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulation sim;
+  PeriodicTimer timer;
+  std::vector<SimTime> fires;
+  timer.start(sim, 100, [&] {
+    fires.push_back(sim.now());
+    if (fires.size() == 5) timer.stop();
+  });
+  sim.run();
+  ASSERT_EQ(fires.size(), 5u);
+  EXPECT_EQ(fires.front(), 100);
+  EXPECT_EQ(fires.back(), 500);
+}
+
+TEST(PeriodicTimer, StopPreventsFurtherFires) {
+  Simulation sim;
+  PeriodicTimer timer;
+  int fires = 0;
+  timer.start(sim, 10, [&] { ++fires; });
+  sim.schedule(35, [&] { timer.stop(); });
+  sim.run();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(EventQueue, TombstonesDoNotLeakIntoPop) {
+  EventQueue q;
+  auto h1 = q.push(10, [] {});
+  q.push(20, [] {});
+  h1.cancel();
+  SimTime when = 0;
+  EventFn fn;
+  ASSERT_TRUE(q.pop(when, fn));
+  EXPECT_EQ(when, 20);
+  EXPECT_FALSE(q.pop(when, fn));
+}
+
+}  // namespace
+}  // namespace harmony::sim

@@ -1,0 +1,166 @@
+// The Fig. 1 estimator: closed form vs Monte-Carlo, plus its decision rules.
+#include "core/stale_model.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/check.h"
+
+namespace harmony::core {
+namespace {
+
+StaleModelParams ec2ish(double lambda_w) {
+  StaleModelParams p;
+  p.lambda_w = lambda_w;
+  // rf=5, NTS 3/2: first replica fast, two more local, two across the WAN.
+  p.prop_delays_us = {300, 700, 1100, 9000, 11000};
+  return p;
+}
+
+TEST(StaleModel, ZeroWriteRateNeverStale) {
+  StaleReadModel m(ec2ish(0.0));
+  for (int k = 1; k <= 5; ++k) EXPECT_EQ(m.p_stale(k), 0.0);
+}
+
+TEST(StaleModel, EmptyProfileIsOptimistic) {
+  StaleModelParams p;
+  p.lambda_w = 100;
+  StaleReadModel m(p);
+  EXPECT_EQ(m.replica_count(), 0);
+  EXPECT_EQ(m.min_replicas_for(0.0), 1);
+}
+
+TEST(StaleModel, MonotoneDecreasingInK) {
+  StaleReadModel m(ec2ish(200));
+  double prev = 1.0;
+  for (int k = 1; k <= 4; ++k) {  // k=5 hits the overlap rule
+    const double p = m.p_stale(k);
+    EXPECT_LE(p, prev + 1e-12) << "k=" << k;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(StaleModel, MonotoneIncreasingInWriteRate) {
+  double prev = 0.0;
+  for (double lw : {1.0, 10.0, 100.0, 1000.0}) {
+    const double p = StaleReadModel(ec2ish(lw)).p_stale(1);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(StaleModel, QuorumOverlapIsZero) {
+  auto params = ec2ish(500);
+  params.write_acks = 3;  // R + W > N for k >= 3
+  StaleReadModel m(params);
+  EXPECT_GT(m.p_stale(1), 0.0);
+  EXPECT_GT(m.p_stale(2), 0.0);
+  EXPECT_EQ(m.p_stale(3), 0.0);
+  EXPECT_EQ(m.p_stale(5), 0.0);
+}
+
+TEST(StaleModel, ContentionScalesEffectiveRate) {
+  auto full = ec2ish(100);
+  auto half = ec2ish(100);
+  half.contention = 0.5;
+  EXPECT_GT(StaleReadModel(full).p_stale(1), StaleReadModel(half).p_stale(1));
+  auto equivalent = ec2ish(50);
+  EXPECT_NEAR(StaleReadModel(half).p_stale(1),
+              StaleReadModel(equivalent).p_stale(1), 1e-12);
+}
+
+TEST(StaleModel, MinReplicasMonotoneInTolerance) {
+  StaleReadModel m(ec2ish(400));
+  int prev = 5;
+  for (double tol : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 1.0}) {
+    const int k = m.min_replicas_for(tol);
+    EXPECT_LE(k, prev) << "tol=" << tol;
+    EXPECT_GE(k, 1);
+    prev = k;
+  }
+  EXPECT_EQ(m.min_replicas_for(1.0), 1);
+}
+
+TEST(StaleModel, MinReplicasMeetsTolerance) {
+  StaleReadModel m(ec2ish(400));
+  for (double tol : {0.05, 0.2, 0.4}) {
+    const int k = m.min_replicas_for(tol);
+    EXPECT_LE(m.p_stale(k), tol);
+    if (k > 1) {
+      EXPECT_GT(m.p_stale(k - 1), tol);  // minimality
+    }
+  }
+}
+
+TEST(StaleModel, TailProbabilityBelowTotal) {
+  StaleReadModel m(ec2ish(300));
+  const double total = m.p_stale(1);
+  double prev = total;
+  for (double age : {0.0, 1000.0, 5000.0, 10000.0}) {
+    const double p = m.p_stale_older_than(1, age);
+    EXPECT_LE(p, prev + 1e-12);
+    EXPECT_LE(p, total + 1e-12);
+    prev = p;
+  }
+  EXPECT_EQ(m.p_stale_older_than(1, 20000.0), 0.0);  // beyond the window
+}
+
+TEST(StaleModel, ExpectedAgeWithinWindow) {
+  StaleReadModel m(ec2ish(300));
+  const double age = m.expected_stale_age_us(1);
+  EXPECT_GT(age, 0.0);
+  EXPECT_LT(age, m.window_us());
+}
+
+TEST(StaleModel, HotKeyRegimeSaturates) {
+  // lambda*Tp >> 1: nearly every read lands in a window; reading one of five
+  // replicas shortly after a write should be stale most of the time.
+  StaleReadModel m(ec2ish(5000));
+  EXPECT_GT(m.p_stale(1), 0.55);
+  EXPECT_LE(m.p_stale(1), 1.0);
+}
+
+TEST(StaleModel, RejectsBadInputs) {
+  StaleModelParams p = ec2ish(10);
+  p.prop_delays_us.push_back(-1);
+  EXPECT_THROW(StaleReadModel{p}, CheckError);
+  StaleReadModel m(ec2ish(10));
+  EXPECT_THROW(m.p_stale(0), CheckError);
+  EXPECT_THROW(m.p_stale(6), CheckError);
+  EXPECT_THROW(m.min_replicas_for(1.5), CheckError);
+}
+
+// Closed form vs Monte-Carlo across write rates and levels.
+class ModelVsMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ModelVsMonteCarlo, Agree) {
+  const auto [lambda_w, k] = GetParam();
+  auto params = ec2ish(lambda_w);
+  const StaleReadModel model(params);
+  const double closed = model.p_stale(k);
+  Rng rng(1234);
+  const double mc =
+      StaleReadModel::monte_carlo_p_stale(params, k, /*lambda_r=*/2000,
+                                          /*horizon_s=*/40.0, rng);
+  EXPECT_NEAR(mc, closed, 0.015 + closed * 0.06)
+      << "lambda_w=" << lambda_w << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelVsMonteCarlo,
+    ::testing::Combine(::testing::Values(20.0, 100.0, 400.0, 2000.0),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(StaleModelMC, OverlapRuleMatches) {
+  auto params = ec2ish(500);
+  params.write_acks = 3;
+  Rng rng(5);
+  EXPECT_EQ(StaleReadModel::monte_carlo_p_stale(params, 3, 1000, 5.0, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace harmony::core

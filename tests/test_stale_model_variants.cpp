@@ -1,0 +1,116 @@
+// Second test battery for the stale-read estimator: the uniform-window
+// (paper-style) variant and the read-sampling offset.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/stale_model.h"
+
+namespace harmony::core {
+namespace {
+
+StaleModelParams profile(double lambda_w) {
+  StaleModelParams p;
+  p.lambda_w = lambda_w;
+  p.prop_delays_us = {300, 700, 1100, 9000, 11000};
+  return p;
+}
+
+TEST(UniformWindow, BoundedAndZeroCases) {
+  StaleReadModel m(profile(200));
+  for (int k = 1; k <= 4; ++k) {
+    const double p = m.p_stale_uniform_window(k);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_EQ(m.p_stale_uniform_window(5), 0.0);  // overlap rule
+  EXPECT_EQ(StaleReadModel(profile(0)).p_stale_uniform_window(1), 0.0);
+}
+
+TEST(UniformWindow, MonotoneDecreasingInK) {
+  StaleReadModel m(profile(300));
+  double prev = 1.1;
+  for (int k = 1; k <= 4; ++k) {
+    const double p = m.p_stale_uniform_window(k);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(UniformWindow, ApproachesExactFormForRareWrites) {
+  // lambda*Tp << 1: the exponential gap density is ~uniform, the two forms
+  // agree to first order.
+  StaleReadModel m(profile(0.5));
+  for (int k = 1; k <= 3; ++k) {
+    const double exact = m.p_stale(k);
+    const double uniform = m.p_stale_uniform_window(k);
+    EXPECT_NEAR(uniform, exact, exact * 0.05 + 1e-6);
+  }
+}
+
+TEST(UniformWindow, UnderestimatesExactFormInHotRegime) {
+  // lambda*Tp >> 1: reads cluster right after writes where more replicas are
+  // stale, so the uniform-position assumption underestimates.
+  StaleReadModel m(profile(3000));
+  EXPECT_LT(m.p_stale_uniform_window(1), m.p_stale(1));
+}
+
+class OffsetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OffsetSweep, OffsetNeverIncreasesStaleness) {
+  const double offset = GetParam();
+  auto with = profile(400);
+  with.read_offset_us = offset;
+  auto without = profile(400);
+  const StaleReadModel mw(with), mo(without);
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_LE(mw.p_stale(k), mo.p_stale(k) + 1e-12)
+        << "offset=" << offset << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, OffsetSweep,
+                         ::testing::Values(0.0, 100.0, 1000.0, 5000.0, 20000.0));
+
+TEST(Offset, BeyondWindowMeansAlwaysFresh) {
+  auto p = profile(400);
+  p.read_offset_us = 50'000;  // > max propagation delay
+  StaleReadModel m(p);
+  EXPECT_EQ(m.window_us(), 0.0);
+  EXPECT_EQ(m.p_stale(1), 0.0);
+}
+
+TEST(Offset, ShrinksWindow) {
+  auto p = profile(400);
+  p.read_offset_us = 1000;
+  StaleReadModel m(p);
+  EXPECT_NEAR(m.window_us(), 10000.0, 1e-9);  // 11000 - 1000
+}
+
+TEST(Offset, MonotoneInOffset) {
+  double prev = 1.1;
+  for (double off : {0.0, 500.0, 2000.0, 8000.0}) {
+    auto p = profile(400);
+    p.read_offset_us = off;
+    const double stale = StaleReadModel(p).p_stale(1);
+    EXPECT_LE(stale, prev + 1e-12);
+    prev = stale;
+  }
+}
+
+TEST(Offset, RejectsNegative) {
+  auto p = profile(10);
+  p.read_offset_us = -1;
+  EXPECT_THROW(StaleReadModel{p}, CheckError);
+}
+
+TEST(Offset, MinReplicasRespondsToOffset) {
+  // A generous offset means even k=1 meets a tight tolerance.
+  auto hot = profile(2000);
+  const int k_no_offset = StaleReadModel(hot).min_replicas_for(0.1);
+  hot.read_offset_us = 10'500;
+  const int k_offset = StaleReadModel(hot).min_replicas_for(0.1);
+  EXPECT_LT(k_offset, k_no_offset);
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/config.h"
+#include "common/table.h"
+#include "common/time_types.h"
+
+namespace harmony {
+namespace {
+
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable t({"policy", "stale"});
+  t.add_row({"ONE", "61%"});
+  t.add_row({"harmony(20%)", "3.5%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| policy "), std::string::npos);
+  EXPECT_NE(s.find("harmony(20%)"), std::string::npos);
+  // Three horizontal rules: top, under header, bottom.
+  int rules = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("\n+", pos)) != std::string::npos) {
+    ++rules;
+    ++pos;
+  }
+  EXPECT_EQ(rules + (s.rfind("+", 0) == 0 ? 1 : 0), 3);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.315), "31.5%");
+  EXPECT_EQ(TextTable::money(1.5), "$1.50");
+}
+
+TEST(Config, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--ops=5000", "--scale=0.5", "--verbose",
+                        "positional"};
+  const Config c = Config::from_args(5, argv);
+  EXPECT_EQ(c.get_int("ops", 0), 5000);
+  EXPECT_DOUBLE_EQ(c.get_double("scale", 1.0), 0.5);
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_FALSE(c.has("positional"));
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  const Config c;
+  EXPECT_EQ(c.get_int("nope", 7), 7);
+  EXPECT_EQ(c.get_string("nope", "d"), "d");
+  EXPECT_FALSE(c.get_bool("nope", false));
+}
+
+TEST(Config, BoolSpellings) {
+  Config c;
+  c.set("a", "true");
+  c.set("b", "yes");
+  c.set("c", "0");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_FALSE(c.get_bool("c", true));
+}
+
+TEST(TimeTypes, Conversions) {
+  EXPECT_EQ(msec(1.5), 1500);
+  EXPECT_EQ(sec(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_hours(kHour), 1.0);
+}
+
+TEST(TimeTypes, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500us");
+  EXPECT_EQ(format_duration(msec(2.5)), "2.50ms");
+  EXPECT_EQ(format_duration(sec(3)), "3.00s");
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,114 @@
+// Request-timeout edge cases: slow-but-alive clusters must fail requests at
+// the deadline rather than hang, and late responses must be harmless.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cluster/cluster.h"
+
+namespace harmony::cluster {
+namespace {
+
+ClusterConfig slow_wan_config(SimDuration timeout) {
+  ClusterConfig cfg;
+  cfg.node_count = 8;
+  cfg.dc_count = 2;
+  cfg.rf = 3;
+  auto latency = net::TieredLatencyModel::grid5000_two_sites();
+  latency.cross_dc.base = 80 * kMillisecond;  // transatlantic-class WAN
+  cfg.latency = latency;
+  cfg.request_timeout = timeout;
+  return cfg;
+}
+
+TEST(Timeouts, ReadTimesOutWhenWanSlowerThanDeadline) {
+  sim::Simulation sim(1);
+  // Deadline far below the WAN round trip: ALL reads cannot finish.
+  Cluster c(sim, slow_wan_config(20 * kMillisecond));
+  c.preload_range(10, 64);
+  std::optional<ReadResult> result;
+  c.client_read(0, 3, resolve_count(3, 3),
+                [&](const ReadResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_GE(c.timeouts(), 1u);
+}
+
+TEST(Timeouts, LocalReadStillCompletes) {
+  sim::Simulation sim(2);
+  Cluster c(sim, slow_wan_config(20 * kMillisecond));
+  c.preload_range(10, 64);
+  std::optional<ReadResult> result;
+  c.client_read(0, 3, resolve_count(1, 3),
+                [&](const ReadResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  // The closest replica may be local (fast) or remote depending on
+  // placement; with rf=3 over 2 DCs the coordinator's DC holds at least one
+  // replica for every key, so ONE must succeed.
+  EXPECT_TRUE(result->ok);
+}
+
+TEST(Timeouts, WriteTimesOutAtAllButStillPropagates) {
+  sim::Simulation sim(3);
+  Cluster c(sim, slow_wan_config(20 * kMillisecond));
+  std::optional<WriteResult> result;
+  c.client_write(0, 5, 64, resolve_count(3, 3),
+                 [&](const WriteResult& w) { result = w; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);  // client saw a timeout...
+  int holding = 0;           // ...but the mutation still reached replicas
+  for (const auto r : c.replicas_for(5)) {
+    if (c.node(r).store().read(5).has_value()) ++holding;
+  }
+  EXPECT_EQ(holding, 3);
+}
+
+TEST(Timeouts, LateResponsesAfterTimeoutAreHarmless) {
+  sim::Simulation sim(4);
+  Cluster c(sim, slow_wan_config(20 * kMillisecond));
+  c.preload_range(10, 64);
+  int callbacks = 0;
+  c.client_read(0, 3, resolve_count(3, 3),
+                [&](const ReadResult&) { ++callbacks; });
+  sim.run();  // drains the late WAN responses too
+  EXPECT_EQ(callbacks, 1);  // exactly one completion despite stragglers
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Timeouts, GenerousDeadlineAvoidsTimeouts) {
+  sim::Simulation sim(5);
+  Cluster c(sim, slow_wan_config(2 * kSecond));
+  c.preload_range(10, 64);
+  std::optional<ReadResult> result;
+  c.client_read(0, 3, resolve_count(3, 3),
+                [&](const ReadResult& r) { result = r; });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(c.timeouts(), 0u);
+}
+
+TEST(Timeouts, CountersDistinguishTimeoutFromUnavailable) {
+  sim::Simulation sim(6);
+  Cluster c(sim, slow_wan_config(20 * kMillisecond));
+  c.preload_range(10, 64);
+  // Timeout first: issued while every node is alive, but the WAN is slower
+  // than the deadline.
+  c.client_read(0, 3, resolve_count(3, 3), [](const ReadResult&) {});
+  // Unavailable: once key 7's replicas are dead, the coordinator fast-fails.
+  // (Killing nodes may also strand the in-flight read above — it still
+  // counts as a timeout, not as unavailable.)
+  sim.schedule(5 * kMillisecond, [&] {
+    for (const auto r : c.replicas_for(7)) c.kill_node(r);
+    c.client_read(0, 7, resolve_count(1, 3), [](const ReadResult&) {});
+  });
+  sim.run();
+  EXPECT_EQ(c.unavailable(), 1u);
+  EXPECT_EQ(c.timeouts(), 1u);
+}
+
+}  // namespace
+}  // namespace harmony::cluster

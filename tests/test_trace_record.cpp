@@ -1,0 +1,86 @@
+// Trace recording in the runner, and the full §III-C loop: run -> trace ->
+// model -> rerun under the learned policy.
+#include <gtest/gtest.h>
+
+#include "core/behavior.h"
+#include "core/static_policy.h"
+#include "workload/runner.h"
+
+namespace harmony::workload {
+namespace {
+
+RunConfig traced_config(std::uint64_t seed) {
+  RunConfig cfg;
+  cfg.cluster.node_count = 8;
+  cfg.cluster.dc_count = 2;
+  cfg.cluster.rf = 3;
+  cfg.workload = WorkloadSpec::ycsb_a();
+  cfg.workload.op_count = 8000;
+  cfg.workload.record_count = 500;
+  cfg.workload.clients_per_dc = 8;
+  cfg.policy = core::static_level(cluster::Level::kOne);
+  cfg.warmup = 0;
+  cfg.seed = seed;
+  cfg.record_trace = true;
+  return cfg;
+}
+
+TEST(TraceRecord, DisabledByDefault) {
+  auto cfg = traced_config(1);
+  cfg.record_trace = false;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.trace, nullptr);
+}
+
+TEST(TraceRecord, CapturesEveryIssuedOp) {
+  const auto r = run_experiment(traced_config(2));
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_EQ(r.trace->records.size(), 8000u);
+}
+
+TEST(TraceRecord, RecordsAreTimeOrderedWithinClientInterleave) {
+  const auto r = run_experiment(traced_config(3));
+  ASSERT_NE(r.trace, nullptr);
+  SimTime prev = 0;
+  for (const auto& rec : r.trace->records) {
+    ASSERT_GE(rec.time, prev);  // issued in simulation-time order
+    prev = rec.time;
+  }
+}
+
+TEST(TraceRecord, MixMatchesSpec) {
+  const auto r = run_experiment(traced_config(4));
+  std::uint64_t reads = 0, writes = 0;
+  for (const auto& rec : r.trace->records) {
+    (rec.op == OpType::kRead ? reads : writes)++;
+  }
+  const double read_share =
+      static_cast<double>(reads) / static_cast<double>(reads + writes);
+  EXPECT_NEAR(read_share, 0.5, 0.05);  // YCSB-A is 50/50
+}
+
+TEST(TraceRecord, FeedsTheBehaviorModeler) {
+  // Close the §III-C loop: record a live trace, model it offline, and drive
+  // a new run with the learned policy.
+  auto cfg = traced_config(5);
+  cfg.workload.op_count = 20000;
+  cfg.workload.target_rate_per_client = 100;  // stretch over enough windows
+  const auto recorded = run_experiment(cfg);
+  ASSERT_NE(recorded.trace, nullptr);
+
+  core::BehaviorModelOptions opt;
+  opt.timeline.window = kSecond;
+  const auto model = std::make_shared<core::ApplicationModel>(
+      core::BehaviorModeler(opt).fit(*recorded.trace));
+  EXPECT_GE(model->state_count(), 2u);
+
+  auto rerun = traced_config(6);
+  rerun.record_trace = false;
+  rerun.policy = core::behavior_policy(model);
+  const auto r = run_experiment(rerun);
+  EXPECT_EQ(r.policy_name, "behavior-model");
+  EXPECT_GT(r.ops, 4000u);
+}
+
+}  // namespace
+}  // namespace harmony::workload
