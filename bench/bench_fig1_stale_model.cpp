@@ -44,7 +44,7 @@ ClusterPoint cluster_truth(double lambda_w, double lambda_r, int k,
     double rtt_sum = 0;
     std::uint64_t rtt_count = 0;
     void on_write_propagated(cluster::Key, SimTime,
-                             const std::vector<SimDuration>& d) override {
+                             const cluster::DelayList& d) override {
       auto sorted = d;
       std::sort(sorted.begin(), sorted.end());
       if (sums.size() < sorted.size()) sums.resize(sorted.size(), 0.0);

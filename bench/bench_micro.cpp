@@ -78,6 +78,46 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  // Slab and heap warmed once; measures the pure schedule+pop cycle the
+  // simulation main loop pays per event (zero allocations in steady state).
+  sim::Simulation sim(1);
+  std::uint64_t ticks = 0;
+  for (int i = 0; i < 4096; ++i) sim.schedule(i % 101, [&ticks] { ++ticks; });
+  sim.run();
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(i % 97, [&ticks] { ++ticks; });
+    }
+    sim.run();
+    events += 1000;
+  }
+  benchmark::DoNotOptimize(ticks);
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_EventQueueSteadyState);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // Schedule-then-cancel half the events: measures tombstone sweeping and
+  // slot/generation recycling under heavy cancellation (timeout-style load).
+  sim::Simulation sim(1);
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(1000);
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    handles.clear();
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.schedule(1 + i % 97, [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    sim.run();
+    events += 1000;
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
 void BM_StaleModelEval(benchmark::State& state) {
   core::StaleModelParams params;
   params.lambda_w = 500;
@@ -102,6 +142,60 @@ void BM_KMeansFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KMeansFit);
+
+void BM_ClusterThroughput(benchmark::State& state) {
+  // End-to-end simulated client ops per wall-clock second at a fixed
+  // consistency level: a closed loop of 64 in-flight clients issuing a 70/30
+  // read/write zipfian mix against a 10-node, 2-DC, rf=3 cluster. This is the
+  // headline "simulator capacity" number — everything the experiment harness
+  // does sits on this path. range(0) is the replica count both reads and
+  // writes wait for (1 = ONE, 2 = QUORUM of rf 3).
+  const int level = static_cast<int>(state.range(0));
+  sim::Simulation sim(1);
+  cluster::ClusterConfig cfg;
+  cfg.node_count = 10;
+  cfg.dc_count = 2;
+  cfg.rf = 3;
+  cluster::Cluster c(sim, cfg);
+  c.preload_range(10'000, 1024);
+  Rng rng(3);
+  ZipfianKeys zipf(10'000);
+  std::uint64_t done = 0;
+  const auto req = cluster::resolve_count(level, 3);
+  constexpr int kInflight = 64;
+
+  std::function<void()> issue = [&] {
+    const cluster::Key key = zipf.next(rng);
+    const net::DcId dc = static_cast<net::DcId>(rng.uniform_u64(2));
+    if (rng.chance(0.3)) {
+      c.client_write(dc, key, 1024, req, [&](const cluster::WriteResult&) {
+        ++done;
+        issue();
+      });
+    } else {
+      c.client_read(dc, key, req, [&](const cluster::ReadResult&) {
+        ++done;
+        issue();
+      });
+    }
+  };
+
+  for (auto _ : state) {
+    const std::uint64_t start_ops = done;
+    for (int i = 0; i < kInflight; ++i) issue();
+    // Run the closed loop for a fixed slice of simulated time, then let the
+    // remaining requests drain without reissuing.
+    sim.run_until(sim.now() + 50 * kMillisecond);
+    auto drain = std::move(issue);
+    issue = [] {};
+    sim.run();
+    issue = std::move(drain);
+    benchmark::DoNotOptimize(done - start_ops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+  state.SetLabel(level == 1 ? "CL=ONE" : "CL=QUORUM");
+}
+BENCHMARK(BM_ClusterThroughput)->Arg(1)->Arg(2);
 
 void BM_ClusterOps(benchmark::State& state) {
   // End-to-end simulated read+write pair throughput of the cluster substrate

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Produce the microbenchmark baseline (BENCH_micro.json).
+#
+# Usage: bench/run_micro.sh [build-dir] [extra google-benchmark flags...]
+#
+# Runs every bench_micro benchmark with fixed settings and writes the JSON
+# report next to this script so the committed baseline tracks the simulator's
+# throughput trajectory PR over PR. Compare against the committed file with
+# google-benchmark's tools/compare.py, or just eyeball items_per_second.
+set -euo pipefail
+
+build_dir="${1:-build}"
+shift || true
+
+out="$(cd "$(dirname "$0")" && pwd)/BENCH_micro.json"
+
+# Older google-benchmark (<=1.7) takes a plain double for min_time, newer
+# versions want a unit suffix; try the modern spelling first.
+min_time_flag="--benchmark_min_time=0.25s"
+if ! "${build_dir}/bench_micro" --benchmark_list_tests ${min_time_flag} >/dev/null 2>&1; then
+  min_time_flag="--benchmark_min_time=0.25"
+fi
+
+"${build_dir}/bench_micro" \
+  ${min_time_flag} \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote ${out}"

@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <ranges>
 
 #include "common/check.h"
 
@@ -26,22 +27,25 @@ int ClusterConfig::local_rf(net::DcId dc) const {
 
 // ------------------------------------------------------------ pending state
 
+// Pending request state is fully inline (SmallVec members): creating,
+// fanning out, and completing a request performs no per-request heap
+// allocation beyond the pending-map node itself.
 struct Cluster::PendingWrite {
   Key key{};
   VersionedValue value{};
   SimTime start = 0;
   net::DcId client_dc = 0;
   net::NodeId coord = 0;
-  std::vector<net::NodeId> replicas;
+  ReplicaList replicas;
   int needed = 1;
   bool local_only = false;
   bool each_quorum = false;
-  std::vector<int> needed_per_dc;
-  std::vector<int> acks_per_dc;
+  DcCounts needed_per_dc;
+  DcCounts acks_per_dc;
   int acks = 0;
   int alive_targets = 0;
   int completed_targets = 0;  ///< fan-out deliveries that ran (dead or alive)
-  std::vector<SimDuration> delays;
+  DelayList delays;
   bool responded = false;
   WriteCallback cb;
   sim::EventHandle timeout;
@@ -52,16 +56,16 @@ struct Cluster::PendingRead {
   SimTime start = 0;
   net::DcId client_dc = 0;
   net::NodeId coord = 0;
-  std::vector<net::NodeId> contacted;
-  std::vector<net::NodeId> all_replicas;
+  ReplicaList contacted;
+  ReplicaList all_replicas;
   int needed = 1;
   bool each_quorum = false;
-  std::vector<int> needed_per_dc;
-  std::vector<int> got_per_dc;
+  DcCounts needed_per_dc;
+  DcCounts got_per_dc;
   int responses = 0;
   bool found = false;
   VersionedValue best{};
-  std::vector<std::pair<net::NodeId, Version>> versions_seen;
+  SmallVec<std::pair<net::NodeId, Version>, kMaxReplicas> versions_seen;
   bool responded = false;
   ReadCallback cb;
   sim::EventHandle timeout;
@@ -84,6 +88,10 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
       rng_(sim.fork_rng(0xC1D2E3F4ULL)) {
   HARMONY_CHECK(cfg_.rf >= 1);
   HARMONY_CHECK(static_cast<std::size_t>(cfg_.rf) <= cfg_.node_count);
+  HARMONY_CHECK_MSG(cfg_.rf <= kMaxReplicas, "rf exceeds kMaxReplicas");
+  HARMONY_CHECK_MSG(cfg_.dc_count <= kMaxDcs, "dc_count exceeds kMaxDcs");
+  for (const int w : cfg_.rf_per_dc()) rf_per_dc_.push_back(w);
+  replica_cache_.resize(kReplicaCacheSize);
   if (cfg_.use_nts) {
     const auto split = cfg_.rf_per_dc();
     for (std::size_t d = 0; d < split.size(); ++d) {
@@ -113,9 +121,24 @@ const Node& Cluster::node(net::NodeId id) const {
   return *nodes_[id];
 }
 
-std::vector<net::NodeId> Cluster::replicas_for(Key key) const {
-  if (cfg_.use_nts) return ring_.replicas_nts(key, cfg_.rf_per_dc());
-  return ring_.replicas_simple(key, cfg_.rf);
+const ReplicaList& Cluster::replicas_for(Key key) const {
+  // Direct-mapped cache keyed by the key's token hash; the ring walk only
+  // runs on a miss (cold key or index collision).
+  ReplicaCacheEntry& e =
+      replica_cache_[TokenRing::token_for(key) & (kReplicaCacheSize - 1)];
+  if (e.valid && e.key == key) return e.replicas;
+  if (cfg_.use_nts) {
+    ring_.replicas_nts(key, rf_per_dc_, e.replicas);
+  } else {
+    ring_.replicas_simple(key, cfg_.rf, e.replicas);
+  }
+  e.key = key;
+  e.valid = true;
+  return e.replicas;
+}
+
+void Cluster::invalidate_replica_cache() {
+  for (ReplicaCacheEntry& e : replica_cache_) e.valid = false;
 }
 
 void Cluster::preload_range(std::uint64_t count, std::uint32_t size) {
@@ -128,20 +151,25 @@ void Cluster::preload_range(std::uint64_t count, std::uint32_t size) {
 // ------------------------------------------------------------ link helpers
 
 net::NodeId Cluster::pick_coordinator(net::DcId dc, Rng& rng) {
-  auto pick_from = [&](const std::vector<net::NodeId>& candidates) -> int {
-    std::vector<net::NodeId> alive;
-    alive.reserve(candidates.size());
+  // Count-then-select keeps the choice uniform over alive candidates with a
+  // single RNG draw (the same draw sequence as the old materialize-a-vector
+  // version) and no allocation.
+  auto pick_from = [&](auto&& candidates) -> int {
+    std::size_t alive = 0;
     for (const net::NodeId n : candidates) {
-      if (nodes_[n]->alive()) alive.push_back(n);
+      if (nodes_[n]->alive()) ++alive;
     }
-    if (alive.empty()) return -1;
-    return static_cast<int>(alive[rng.uniform_u64(alive.size())]);
+    if (alive == 0) return -1;
+    std::uint64_t target = rng.uniform_u64(alive);
+    for (const net::NodeId n : candidates) {
+      if (nodes_[n]->alive() && target-- == 0) return static_cast<int>(n);
+    }
+    return -1;  // unreachable
   };
   int c = pick_from(topo_.nodes_in_dc(dc));
   if (c >= 0) return static_cast<net::NodeId>(c);
-  std::vector<net::NodeId> all(topo_.node_count());
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<net::NodeId>(i);
-  c = pick_from(all);
+  c = pick_from(std::views::iota(
+      net::NodeId{0}, static_cast<net::NodeId>(topo_.node_count())));
   HARMONY_CHECK_MSG(c >= 0, "no alive node to coordinate");
   return static_cast<net::NodeId>(c);
 }
@@ -165,16 +193,15 @@ void Cluster::account_client(std::uint64_t bytes) {
   net_stats_.record(net::LinkClass::kSameDc, bytes);
 }
 
-std::vector<net::NodeId> Cluster::order_for_read(
-    net::NodeId coord, const std::vector<net::NodeId>& replicas,
-    Rng& rng) const {
+ReplicaList Cluster::order_for_read(net::NodeId coord,
+                                    const ReplicaList& replicas,
+                                    Rng& rng) const {
   struct Ranked {
     int rank;
     std::uint64_t shuffle;
     net::NodeId id;
   };
-  std::vector<Ranked> ranked;
-  ranked.reserve(replicas.size());
+  SmallVec<Ranked, kMaxReplicas> ranked;
   for (const net::NodeId r : replicas) {
     int rank = 0;
     if (cfg_.closest_first_snitch) {
@@ -182,12 +209,20 @@ std::vector<net::NodeId> Cluster::order_for_read(
     }
     ranked.push_back({rank, rng.next(), r});
   }
-  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+  // Insertion sort: ranked holds at most kMaxReplicas (8) entries, and the
+  // fixed bound sidesteps std::sort's 16-element insertion threshold (which
+  // trips GCC's -Warray-bounds on inline storage).
+  const auto before = [](const Ranked& a, const Ranked& b) {
     if (a.rank != b.rank) return a.rank < b.rank;
     return a.shuffle < b.shuffle;
-  });
-  std::vector<net::NodeId> out;
-  out.reserve(ranked.size());
+  };
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    const Ranked key = ranked[i];
+    std::size_t j = i;
+    for (; j > 0 && before(key, ranked[j - 1]); --j) ranked[j] = ranked[j - 1];
+    ranked[j] = key;
+  }
+  ReplicaList out;
   for (const auto& r : ranked) out.push_back(r.id);
   return out;
 }
@@ -223,18 +258,18 @@ void Cluster::start_write(std::uint64_t id) {
   const SimDuration coord_delay = coord.service(ServiceKind::kCoordinate, sim_->now());
 
   w.replicas = replicas_for(w.key);
-  const auto split = cfg_.rf_per_dc();
   if (w.each_quorum) {
     w.needed_per_dc.assign(cfg_.dc_count, 0);
     w.acks_per_dc.assign(cfg_.dc_count, 0);
     for (std::size_t d = 0; d < cfg_.dc_count; ++d) {
-      if (split[d] > 0) w.needed_per_dc[d] = quorum_of(split[d]);
+      if (rf_per_dc_[d] > 0) w.needed_per_dc[d] = quorum_of(rf_per_dc_[d]);
     }
   }
 
   // Feasibility: can the alive replica set ever satisfy the requirement?
   int alive_total = 0, alive_local = 0;
-  std::vector<int> alive_per_dc(cfg_.dc_count, 0);
+  DcCounts alive_per_dc;
+  alive_per_dc.assign(cfg_.dc_count, 0);
   for (const net::NodeId r : w.replicas) {
     if (!nodes_[r]->alive()) continue;
     ++alive_total;
@@ -262,7 +297,6 @@ void Cluster::start_write(std::uint64_t id) {
   }
 
   w.alive_targets = alive_total;
-  w.delays.reserve(w.replicas.size());
 
   if (cfg_.anti_entropy_period > 0) {
     dirty_keys_.insert(w.key);
@@ -376,8 +410,10 @@ void Cluster::finish_write(std::uint64_t id, bool ok) {
   account_client(cfg_.message_overhead_bytes);
   const SimDuration back = client_link_delay(rng_);
   WriteResult result{ok, ok ? w.value.version : kNoVersion};
-  auto cb = w.cb;  // copy: pending may be erased before the callback runs
-  sim_->schedule(back, [cb, result] { cb(result); });
+  // Move, don't copy: responded is set, so nothing fires this callback again
+  // even though the pending entry may outlive us for propagation bookkeeping.
+  auto cb = std::move(w.cb);
+  sim_->schedule(back, [cb = std::move(cb), result] { cb(result); });
   // Erase now only if propagation already completed; otherwise write_ack's
   // lifecycle bookkeeping erases it.
   if (w.completed_targets == w.alive_targets) pending_writes_.erase(it);
@@ -417,21 +453,19 @@ void Cluster::start_read(std::uint64_t id) {
   const SimDuration coord_delay = coord.service(ServiceKind::kCoordinate, sim_->now());
 
   r.all_replicas = replicas_for(r.key);
-  const std::vector<net::NodeId> ordered =
-      order_for_read(r.coord, r.all_replicas, rng_);
+  const ReplicaList ordered = order_for_read(r.coord, r.all_replicas, rng_);
 
-  const auto split = cfg_.rf_per_dc();
   const bool local_restricted = !r.needed_per_dc.empty() && !r.each_quorum;
   if (r.each_quorum) {
     r.needed_per_dc.assign(cfg_.dc_count, 0);
     for (std::size_t d = 0; d < cfg_.dc_count; ++d) {
-      if (split[d] > 0) r.needed_per_dc[d] = quorum_of(split[d]);
+      if (rf_per_dc_[d] > 0) r.needed_per_dc[d] = quorum_of(rf_per_dc_[d]);
     }
   }
   r.got_per_dc.assign(cfg_.dc_count, 0);
 
   // Choose the contact set among alive replicas.
-  std::vector<int> want_per_dc = r.needed_per_dc;
+  DcCounts want_per_dc = r.needed_per_dc;
   int want_global = (r.each_quorum || local_restricted) ? 0 : r.needed;
   for (const net::NodeId n : ordered) {
     if (!nodes_[n]->alive()) continue;
@@ -457,9 +491,9 @@ void Cluster::start_read(std::uint64_t id) {
     ++unavailable_;
     account_client(cfg_.message_overhead_bytes);
     const SimDuration back = coord_delay + client_link_delay(rng_);
-    auto cb = r.cb;
+    auto cb = std::move(r.cb);
     pending_reads_.erase(it);
-    sim_->schedule(back, [cb] { cb(ReadResult{}); });
+    sim_->schedule(back, [cb = std::move(cb)] { cb(ReadResult{}); });
     return;
   }
   if (r.each_quorum) {
@@ -598,9 +632,10 @@ void Cluster::finish_read(std::uint64_t id, bool ok) {
   const Key key = r.key;
   const SimTime started = r.start;
   const Version returned = result.found ? result.version : kNoVersion;
-  auto cb = r.cb;
+  auto cb = std::move(r.cb);
   pending_reads_.erase(it);
-  sim_->schedule(back, [this, cb, result, key, started, returned]() mutable {
+  sim_->schedule(back, [this, cb = std::move(cb), result, key, started,
+                        returned]() mutable {
     if (result.ok) {
       const auto judgement = oracle_.judge(key, returned, started);
       result.stale = judgement.stale;
@@ -631,12 +666,14 @@ void Cluster::send_repair(net::NodeId coord, net::NodeId target, Key key,
 void Cluster::kill_node(net::NodeId id) {
   HARMONY_CHECK(id < nodes_.size());
   nodes_[id]->set_alive(false);
+  invalidate_replica_cache();
 }
 
 void Cluster::revive_node(net::NodeId id) {
   HARMONY_CHECK(id < nodes_.size());
   if (nodes_[id]->alive()) return;
   nodes_[id]->set_alive(true);
+  invalidate_replica_cache();
   replay_hints(id);
 }
 

@@ -34,6 +34,9 @@
 
 namespace harmony::cluster {
 
+/// Per-replica write propagation delays, inline like the replica list itself.
+using DelayList = SmallVec<SimDuration, kMaxReplicas>;
+
 /// Hooks the monitoring module attaches to. Callbacks run inside the
 /// simulation loop; implementations must be cheap and must not re-enter the
 /// cluster API.
@@ -44,7 +47,7 @@ class ClusterObserver {
   /// replica (unsorted), apply_time - write_start. Harmony's estimator reads
   /// its T / t_j inputs from these.
   virtual void on_write_propagated(Key key, SimTime write_start,
-                                   const std::vector<SimDuration>& replica_delays) {
+                                   const DelayList& replica_delays) {
     (void)key; (void)write_start; (void)replica_delays;
   }
   /// A replica answered a coordinator-issued read (data or digest).
@@ -144,7 +147,12 @@ class Cluster {
   Node& node(net::NodeId id);
   const Node& node(net::NodeId id) const;
 
-  std::vector<net::NodeId> replicas_for(Key key) const;
+  /// Replica set for `key` (placement order). Served from a fixed-size
+  /// direct-mapped cache: placement is static while membership is static, so
+  /// hot keys skip the ring walk entirely. The reference is valid until the
+  /// next replicas_for call (callers on the request path copy the 40-byte
+  /// list into their pending state).
+  const ReplicaList& replicas_for(Key key) const;
 
   std::uint64_t storage_bytes() const;
   /// Replica-level storage operations served (reads+digests+writes).
@@ -174,9 +182,8 @@ class Cluster {
   void account_client(std::uint64_t bytes);
 
   /// Order candidate read replicas for a coordinator (snitch).
-  std::vector<net::NodeId> order_for_read(net::NodeId coord,
-                                          const std::vector<net::NodeId>& replicas,
-                                          Rng& rng) const;
+  ReplicaList order_for_read(net::NodeId coord, const ReplicaList& replicas,
+                             Rng& rng) const;
 
   void start_write(std::uint64_t id);
   void replica_apply_write(std::uint64_t id, net::NodeId replica);
@@ -207,6 +214,20 @@ class Cluster {
   ClusterObserver* observer_ = nullptr;
 
   Rng rng_;               // coordinator choice, snitch shuffles, link jitter
+  DcCounts rf_per_dc_;    // cfg_.rf_per_dc(), computed once
+
+  // Key -> replica set cache (direct-mapped, power-of-two). Placement depends
+  // only on the ring, so entries stay valid until membership events; kill()/
+  // revive() flush it anyway out of caution.
+  struct ReplicaCacheEntry {
+    Key key = 0;
+    bool valid = false;
+    ReplicaList replicas;
+  };
+  static constexpr std::size_t kReplicaCacheSize = 4096;
+  mutable std::vector<ReplicaCacheEntry> replica_cache_;
+  void invalidate_replica_cache();
+
   std::uint64_t next_id_ = 1;
   std::uint64_t write_seq_ = 0;
   std::uint64_t replica_ops_ = 0;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/check.h"
 #include "common/distributions.h"
 
 namespace harmony::cluster {
@@ -23,63 +22,83 @@ TokenRing::TokenRing(const net::Topology& topo, int vnodes_per_node,
       ring_.push_back({token, n.id});
     }
   }
-  std::sort(ring_.begin(), ring_.end(),
-            [](const VNode& a, const VNode& b) { return a.token < b.token; });
+  // (token, node) order: the node tie-break makes the walk order fully
+  // deterministic even in the (vanishingly unlikely) event of a token collision.
+  std::sort(ring_.begin(), ring_.end(), [](const VNode& a, const VNode& b) {
+    if (a.token != b.token) return a.token < b.token;
+    return a.node < b.node;
+  });
+  // Per-DC index: each DC's vnodes in the same clockwise order, so NTS can
+  // walk one DC without stepping over the others' vnodes.
+  dc_ring_.resize(topo.dc_count());
+  for (std::size_t d = 0; d < dc_ring_.size(); ++d) {
+    dc_ring_[d].reserve(topo.nodes_in_dc(static_cast<net::DcId>(d)).size() *
+                        static_cast<std::size_t>(vnodes_per_node));
+  }
+  for (const VNode& v : ring_) dc_ring_[topo.dc_of(v.node)].push_back(v);
+
+  // Skip table for NTS cursor seeding (see header). Built back-to-front so
+  // each position inherits the successor's "next" until a DC vnode overrides.
+  const std::size_t n = ring_.size();
+  std::vector<std::uint32_t> local_idx(n);
+  std::vector<std::uint32_t> counter(topo.dc_count(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    local_idx[i] = counter[topo.dc_of(ring_[i].node)]++;
+  }
+  next_in_dc_.resize(topo.dc_count());
+  for (std::size_t d = 0; d < next_in_dc_.size(); ++d) {
+    next_in_dc_[d].assign(n + 1, static_cast<std::uint32_t>(dc_ring_[d].size()));
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t d = 0; d < next_in_dc_.size(); ++d) {
+      next_in_dc_[d][i] = next_in_dc_[d][i + 1];
+    }
+    next_in_dc_[topo.dc_of(ring_[i].node)][i] = local_idx[i];
+  }
 }
 
 std::uint64_t TokenRing::token_for(Key key) { return mix64(key); }
 
 std::size_t TokenRing::first_at_or_after(std::uint64_t token) const {
+  return first_at_or_after(ring_, token);
+}
+
+std::size_t TokenRing::first_at_or_after(const std::vector<VNode>& ring,
+                                         std::uint64_t token) {
   const auto it = std::lower_bound(
-      ring_.begin(), ring_.end(), token,
+      ring.begin(), ring.end(), token,
       [](const VNode& v, std::uint64_t t) { return v.token < t; });
-  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+  return it == ring.end() ? 0 : static_cast<std::size_t>(it - ring.begin());
 }
 
 std::vector<net::NodeId> TokenRing::replicas_simple(Key key, int rf) const {
-  HARMONY_CHECK(rf >= 1);
-  HARMONY_CHECK_MSG(static_cast<std::size_t>(rf) <= topo_->node_count(),
-                    "rf exceeds node count");
   std::vector<net::NodeId> out;
   out.reserve(static_cast<std::size_t>(rf));
-  std::size_t i = first_at_or_after(token_for(key));
-  for (std::size_t walked = 0;
-       walked < ring_.size() && out.size() < static_cast<std::size_t>(rf);
-       ++walked, i = (i + 1) % ring_.size()) {
-    const net::NodeId n = ring_[i].node;
-    if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
-  }
-  HARMONY_CHECK(out.size() == static_cast<std::size_t>(rf));
+  fill_simple(key, rf, out);
   return out;
+}
+
+void TokenRing::replicas_simple(Key key, int rf, ReplicaList& out) const {
+  HARMONY_CHECK_MSG(rf <= kMaxReplicas, "rf exceeds kMaxReplicas");
+  out.clear();
+  fill_simple(key, rf, out);
 }
 
 std::vector<net::NodeId> TokenRing::replicas_nts(
     Key key, const std::vector<int>& rf_per_dc) const {
   HARMONY_CHECK(rf_per_dc.size() == topo_->dc_count());
-  std::vector<int> wanted = rf_per_dc;
-  for (std::size_t d = 0; d < wanted.size(); ++d) {
-    HARMONY_CHECK_MSG(
-        static_cast<std::size_t>(wanted[d]) <=
-            topo_->nodes_in_dc(static_cast<net::DcId>(d)).size(),
-        "per-DC rf exceeds DC size");
-  }
-  int remaining = 0;
-  for (int w : wanted) remaining += w;
   std::vector<net::NodeId> out;
-  out.reserve(static_cast<std::size_t>(remaining));
-  std::size_t i = first_at_or_after(token_for(key));
-  for (std::size_t walked = 0; walked < ring_.size() && remaining > 0;
-       ++walked, i = (i + 1) % ring_.size()) {
-    const net::NodeId n = ring_[i].node;
-    const net::DcId dc = topo_->dc_of(n);
-    if (wanted[dc] <= 0) continue;
-    if (std::find(out.begin(), out.end(), n) != out.end()) continue;
-    out.push_back(n);
-    --wanted[dc];
-    --remaining;
-  }
-  HARMONY_CHECK_MSG(remaining == 0, "could not satisfy NTS placement");
+  int total = 0;
+  for (const int w : rf_per_dc) total += w;
+  out.reserve(static_cast<std::size_t>(total));
+  fill_nts(key, rf_per_dc.data(), rf_per_dc.size(), out);
   return out;
+}
+
+void TokenRing::replicas_nts(Key key, const DcCounts& rf_per_dc,
+                             ReplicaList& out) const {
+  out.clear();
+  fill_nts(key, rf_per_dc.begin(), rf_per_dc.size(), out);
 }
 
 std::vector<double> TokenRing::ownership() const {

@@ -1,0 +1,113 @@
+// Move-only callable with inline (small-buffer) storage.
+//
+// The discrete-event kernel schedules tens of millions of callbacks per run;
+// std::function heap-allocates any capture list larger than two pointers and
+// requires copyability. InlineFn stores callables up to `Capacity` bytes
+// in-place (the event slab then owns the bytes — zero allocations per event)
+// and falls back to the heap only for oversized captures, which the hot paths
+// avoid by construction. Move-only on purpose: event callbacks are consumed
+// exactly once, and banning copies keeps accidental capture-copying out of
+// the kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace harmony {
+
+template <std::size_t Capacity>
+class InlineFn {
+ public:
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= Capacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() {
+    HARMONY_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineFn");
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst);  ///< move into raw dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* src, void* dst) {
+        D& s = *static_cast<D*>(src);
+        ::new (dst) D(std::move(s));
+        s.~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* src, void* dst) { ::new (dst) D*(*static_cast<D**>(src)); },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace harmony

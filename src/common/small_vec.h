@@ -1,0 +1,82 @@
+// Fixed-capacity inline vector for trivially-movable element types.
+//
+// The request hot paths (replica lists, per-DC ack counters, propagation
+// delays) hold at most a handful of elements — rf and dc_count are single
+// digits — yet the original code rebuilt std::vectors per request. SmallVec
+// keeps the elements inline (no heap, trivially copyable as a whole) and
+// range-checks growth against the compile-time capacity, so exceeding a
+// documented limit fails loudly instead of silently allocating.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+
+#include "common/check.h"
+
+namespace harmony {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  void push_back(const T& v) {
+    HARMONY_CHECK_MSG(size_ < N, "SmallVec capacity exceeded");
+    data_[size_++] = v;
+  }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    HARMONY_CHECK_MSG(size_ < N, "SmallVec capacity exceeded");
+    data_[size_] = T{static_cast<Args&&>(args)...};
+    return data_[size_++];
+  }
+  void pop_back() {
+    HARMONY_CHECK(size_ > 0);
+    --size_;
+  }
+  void clear() { size_ = 0; }
+  void assign(std::size_t n, const T& v) {
+    HARMONY_CHECK_MSG(n <= N, "SmallVec capacity exceeded");
+    size_ = n;
+    std::fill_n(data_, n, v);
+  }
+  void resize(std::size_t n, const T& v = T{}) {
+    HARMONY_CHECK_MSG(n <= N, "SmallVec capacity exceeded");
+    if (n > size_) std::fill(data_ + size_, data_ + n, v);
+    size_ = n;
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr std::size_t capacity() { return N; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  T data_[N] = {};
+  std::size_t size_ = 0;
+};
+
+}  // namespace harmony

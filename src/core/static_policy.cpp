@@ -6,10 +6,13 @@ StaticPolicy::StaticPolicy(cluster::Level read_level, cluster::Level write_level
                            int rf, int local_rf)
     : read_(cluster::resolve(read_level, rf, local_rf)),
       write_(cluster::resolve(write_level, rf, local_rf)),
+      // std::string{"/"}.append(...) rather than "/" + std::string: the
+      // latter trips GCC 12's -Wrestrict false positive (PR105651) once
+      // inlining gets aggressive enough.
       name_("static-" + cluster::to_string(read_level) +
             (read_level == write_level
                  ? std::string{}
-                 : "/" + cluster::to_string(write_level))) {}
+                 : std::string{"/"}.append(cluster::to_string(write_level)))) {}
 
 StaticPolicy::StaticPolicy(int read_replicas, int write_acks, int rf)
     : read_(cluster::resolve_count(read_replicas, rf)),

@@ -62,10 +62,10 @@ void Monitor::record_write_complete(SimTime now, SimDuration latency) {
 }
 
 void Monitor::on_write_propagated(cluster::Key /*key*/, SimTime write_start,
-                                  const std::vector<SimDuration>& replica_delays) {
+                                  const cluster::DelayList& replica_delays) {
   if (replica_delays.empty()) return;
   ++writes_observed_;
-  std::vector<SimDuration> sorted = replica_delays;
+  cluster::DelayList sorted = replica_delays;
   std::sort(sorted.begin(), sorted.end());
   const SimTime now = write_start + sorted.back();
   t_first_.observe(now, static_cast<double>(sorted.front()));

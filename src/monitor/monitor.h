@@ -89,7 +89,7 @@ class Monitor : public cluster::ClusterObserver {
 
   // ---- ClusterObserver ----------------------------------------------------
   void on_write_propagated(cluster::Key key, SimTime write_start,
-                           const std::vector<SimDuration>& replica_delays) override;
+                           const cluster::DelayList& replica_delays) override;
   void on_replica_read_rtt(net::NodeId replica, SimDuration rtt,
                            bool cross_dc) override;
 

@@ -1,28 +1,78 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace harmony::sim {
 
+EventQueue::EventQueue() { heap_.reserve(kChunkSize); }
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slot(s).next_free;
+    slot(s).next_free = kNil;
+    return s;
+  }
+  HARMONY_CHECK_MSG(slot_count_ < kNil, "event slab full");
+  if (slot_count_ == chunks_.size() << kChunkShift) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return slot_count_++;
+}
+
+void EventQueue::release_slot(std::uint32_t s) {
+  Slot& sl = slot(s);
+  sl.fn.reset();
+  ++sl.generation;  // invalidates handles and heap tombstones for this slot
+  sl.next_free = free_head_;
+  free_head_ = s;
+}
+
+void EventQueue::pop_top() const {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
 EventHandle EventQueue::push(SimTime when, EventFn fn) {
-  auto alive = std::make_shared<bool>(true);
-  heap_.push(Entry{when, next_seq_++, alive,
-                   std::make_shared<EventFn>(std::move(fn))});
-  return EventHandle{std::move(alive)};
+  const std::uint32_t s = acquire_slot();
+  Slot& sl = slot(s);
+  sl.fn = std::move(fn);
+  heap_.push_back(HeapEntry{when, next_seq_++, s, sl.generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle{this, s, sl.generation};
 }
 
 void EventQueue::drop_dead() const {
-  while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+  while (!heap_.empty() &&
+         slot(heap_.front().slot).generation != heap_.front().generation) {
+    pop_top();
+  }
+}
+
+void EventQueue::take_top(SimTime& when, EventFn& fn) {
+  const HeapEntry top = heap_.front();
+  pop_top();
+  when = top.when;
+  fn = std::move(slot(top.slot).fn);
+  release_slot(top.slot);
 }
 
 bool EventQueue::pop(SimTime& when, EventFn& fn) {
   drop_dead();
   if (heap_.empty()) return false;
-  const Entry& top = heap_.top();
-  when = top.when;
-  fn = std::move(*top.fn);
-  heap_.pop();
+  take_top(when, fn);
   return true;
+}
+
+EventQueue::PopResult EventQueue::pop_before(SimTime horizon, SimTime& when,
+                                             EventFn& fn) {
+  drop_dead();
+  if (heap_.empty()) return PopResult::kEmpty;
+  if (heap_.front().when > horizon) return PopResult::kLater;
+  take_top(when, fn);
+  return PopResult::kEvent;
 }
 
 bool EventQueue::empty() const {
@@ -33,7 +83,7 @@ bool EventQueue::empty() const {
 SimTime EventQueue::next_time() const {
   drop_dead();
   HARMONY_CHECK(!heap_.empty());
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 }  // namespace harmony::sim

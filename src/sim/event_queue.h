@@ -2,44 +2,110 @@
 //
 // Ordering is (time, sequence) so same-instant events run in scheduling order —
 // this is what makes whole simulations bit-reproducible from a seed.
-// Cancellation is O(1) via a shared tombstone flag; dead events are skipped at
-// pop time (lazy deletion), which keeps the heap simple and cache-friendly.
+//
+// Allocation-free slot-pool design: callbacks live in a free-listed slab of
+// fixed-size chunks (inline storage via InlineFn — no per-event heap traffic
+// once the slab and heap vectors reach steady-state size), the binary heap
+// holds plain {time, seq, slot, generation} PODs, and handles are
+// {slot, generation} pairs so cancel() is O(1) without shared_ptr
+// bookkeeping. A cancelled or fired slot bumps its generation and returns to
+// the free list; heap entries whose generation no longer matches are
+// tombstones skipped lazily at pop time.
+//
+// Handle validity: an EventHandle must not be used after its EventQueue is
+// destroyed (handles hold a raw queue pointer; in this codebase every handle
+// owner also holds the Simulation that owns the queue). A default-constructed
+// handle is inert and always safe.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "common/inline_fn.h"
 #include "common/time_types.h"
 
 namespace harmony::sim {
 
-using EventFn = std::function<void()>;
+/// Inline capacity covers the largest hot-path capture list in the cluster
+/// request path (finish_read's response lambda: callback + result + key +
+/// versions ≈ 112 bytes). Bigger callables still work via heap fallback.
+using EventFn = InlineFn<128>;
+
+class EventQueue;
 
 /// Handle to a scheduled event; cancel() is idempotent and safe after firing.
 class EventHandle {
  public:
   EventHandle() = default;
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
-  bool pending() const { return alive_ && *alive_; }
+  void cancel();
+  bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(EventQueue* q, std::uint32_t slot, std::uint32_t generation)
+      : queue_(q), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
+  /// Outcome of pop_before: an event ran, the queue is drained, or the
+  /// earliest live event lies beyond the caller's horizon.
+  enum class PopResult : std::uint8_t { kEvent, kEmpty, kLater };
+
+  EventQueue();
+  // Non-copyable/non-movable: handles hold stable pointers to this queue.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   EventHandle push(SimTime when, EventFn fn);
 
   /// Pop the earliest live event; returns false when drained.
-  /// On success fills `when`/`fn`.
+  /// On success fills `when`/`fn` (the callback is moved out, never copied).
   bool pop(SimTime& when, EventFn& fn);
+
+  /// Fused peek+pop for callers that want the callback moved out: pops only
+  /// when the earliest live event is at or before `horizon` (one tombstone
+  /// sweep per event instead of three for empty()/next_time()/pop()).
+  PopResult pop_before(SimTime horizon, SimTime& when, EventFn& fn);
+
+  /// Main-loop fast path: like pop_before, but the callback runs *in place*
+  /// in its slab slot — no move-out, no extra destructor. `on_event(when)`
+  /// fires right before the callback (the simulation advances its clock
+  /// there). The slot's generation is bumped before invoking, so a handle
+  /// cancelled from inside its own callback is an inert no-op, and the slot
+  /// only returns to the free list after the callback finishes (reentrant
+  /// push never reuses the executing slot; chunked storage keeps its address
+  /// stable even while the slab grows).
+  template <typename OnEvent>
+  PopResult run_before(SimTime horizon, OnEvent&& on_event) {
+    drop_dead();
+    if (heap_.empty()) return PopResult::kEmpty;
+    if (heap_.front().when > horizon) return PopResult::kLater;
+    const HeapEntry top = heap_.front();
+    pop_top();
+    Slot& sl = slot(top.slot);
+    ++sl.generation;  // fired: outstanding handles go stale now
+    // Scope guard: reclaim the slot (and destroy the callback's captures)
+    // even if the callback throws out of the event loop.
+    struct Reclaim {
+      EventQueue* q;
+      std::uint32_t s;
+      ~Reclaim() {
+        Slot& sl = q->slot(s);
+        sl.fn.reset();
+        sl.next_free = q->free_head_;
+        q->free_head_ = s;
+      }
+    } reclaim{this, top.slot};
+    on_event(top.when);
+    sl.fn();
+    return PopResult::kEvent;
+  }
 
   bool empty() const;
   std::size_t size_with_tombstones() const { return heap_.size(); }
@@ -47,24 +113,63 @@ class EventQueue {
   SimTime next_time() const;
 
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  struct HeapEntry {
     SimTime when;
     std::uint64_t seq;
-    // mutable state lives behind pointers so Entry stays movable in the heap
-    std::shared_ptr<bool> alive;
-    std::shared_ptr<EventFn> fn;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNil;
+  };
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  // Slots live in fixed-size chunks: growth never moves existing slots (no
+  // relocation of in-flight callbacks, stable addresses for the free list).
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
 
+  Slot& slot(std::uint32_t i) { return chunks_[i >> kChunkShift][i & kChunkMask]; }
+  const Slot& slot(std::uint32_t i) const {
+    return chunks_[i >> kChunkShift][i & kChunkMask];
+  }
+
+  std::uint32_t acquire_slot();
+  /// Destroy the slot's callback, invalidate outstanding handles/heap entries
+  /// (generation bump), and return the slot to the free list.
+  void release_slot(std::uint32_t slot);
+  bool slot_live(std::uint32_t s, std::uint32_t generation) const {
+    return slot(s).generation == generation;
+  }
   void drop_dead() const;
+  void take_top(SimTime& when, EventFn& fn);
+  void pop_top() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::vector<HeapEntry> heap_;  // binary min-heap via std::*_heap
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNil;
   std::uint64_t next_seq_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_ == nullptr) return;
+  if (queue_->slot_live(slot_, generation_)) queue_->release_slot(slot_);
+  queue_ = nullptr;
+}
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->slot_live(slot_, generation_);
+}
 
 }  // namespace harmony::sim

@@ -15,13 +15,21 @@ bool Simulation::step() {
 
 void Simulation::run_until(SimTime horizon) {
   stopping_ = false;
+  const auto advance_clock = [this](SimTime when) {
+    HARMONY_CHECK_MSG(when >= now_, "event queue went backwards");
+    now_ = when;
+    ++events_processed_;
+  };
   while (!stopping_) {
-    if (queue_.empty()) return;
-    if (queue_.next_time() > horizon) {
-      now_ = horizon;
-      return;
+    switch (queue_.run_before(horizon, advance_clock)) {
+      case EventQueue::PopResult::kEmpty:
+        return;
+      case EventQueue::PopResult::kLater:
+        now_ = horizon;
+        return;
+      case EventQueue::PopResult::kEvent:
+        break;
     }
-    step();
   }
 }
 

@@ -251,12 +251,79 @@ TEST(Cluster, RejectsRfBeyondNodes) {
   EXPECT_THROW(Cluster(sim, cfg), harmony::CheckError);
 }
 
+// Determinism regression: a full mixed read/write workload with mid-run
+// failure injection must be bit-reproducible from the seed (same event count,
+// same final clock, same byte/staleness accounting).
+struct DeterminismFingerprint {
+  std::uint64_t events = 0;
+  SimTime final_now = 0;
+  std::uint64_t replica_ops = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t repairs = 0;
+
+  bool operator==(const DeterminismFingerprint&) const = default;
+};
+
+DeterminismFingerprint deterministic_workload(std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  Cluster c(sim, small_config());
+  c.preload_range(200, 256);
+  Rng rng = sim.fork_rng(0x50AD);
+  DeterminismFingerprint fp;
+  for (int i = 0; i < 400; ++i) {
+    const Key key = rng.uniform_u64(200);
+    const net::DcId dc = static_cast<net::DcId>(rng.uniform_u64(2));
+    if (rng.chance(0.5)) {
+      c.client_write(dc, key, 128, resolve_count(1, 5),
+                     [&fp](const WriteResult& w) { fp.ok += w.ok ? 1 : 0; });
+    } else {
+      c.client_read(dc, key, resolve_count(2, 5), [&fp](const ReadResult& r) {
+        fp.ok += r.ok ? 1 : 0;
+        fp.stale += r.stale ? 1 : 0;
+      });
+    }
+    if (i == 150) c.kill_node(3);
+    if (i == 300) c.revive_node(3);
+    sim.run();
+  }
+  fp.events = sim.events_processed();
+  fp.final_now = sim.now();
+  fp.replica_ops = c.replica_ops();
+  fp.repairs = c.read_repairs_sent();
+  return fp;
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  const auto a = deterministic_workload(77);
+  const auto b = deterministic_workload(77);
+  EXPECT_TRUE(a == b);
+  EXPECT_GT(a.events, 1000u);
+  EXPECT_GT(a.ok, 300u);
+
+  const auto c = deterministic_workload(78);
+  EXPECT_FALSE(a == c);  // different seed, different trajectory
+}
+
+TEST(Cluster, ReplicaCacheSurvivesMembershipChanges) {
+  sim::Simulation sim(5);
+  Cluster c(sim, small_config());
+  const ReplicaList before = c.replicas_for(42);
+  c.kill_node(before[0]);
+  const ReplicaList during = c.replicas_for(42);
+  c.revive_node(before[0]);
+  const ReplicaList after = c.replicas_for(42);
+  // Placement is independent of liveness; the cache must not serve junk
+  // across the kill/revive invalidations.
+  EXPECT_TRUE(before == during);
+  EXPECT_TRUE(before == after);
+}
+
 TEST(Cluster, ObserverSeesPropagation) {
   struct Probe : ClusterObserver {
     int propagated = 0;
     std::size_t delays_seen = 0;
-    void on_write_propagated(Key, SimTime,
-                             const std::vector<SimDuration>& d) override {
+    void on_write_propagated(Key, SimTime, const DelayList& d) override {
       ++propagated;
       delays_seen = d.size();
     }

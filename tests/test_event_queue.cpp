@@ -1,0 +1,224 @@
+// Regression tests for the slot-pool event kernel: slot/generation reuse
+// safety under cancellation churn, move-only (never-copied) callbacks,
+// steady-state allocation-freedom, and whole-simulation determinism over a
+// mixed schedule/cancel workload.
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+// Count every global allocation so the steady-state test below can assert the
+// schedule+pop cycle touches the heap zero times. Counting is binary-wide but
+// side-effect free for every other test.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace harmony::sim {
+namespace {
+
+// The kernel contract: callbacks are consumed exactly once and never copied.
+static_assert(!std::is_copy_constructible_v<EventFn>);
+static_assert(!std::is_copy_assignable_v<EventFn>);
+static_assert(std::is_nothrow_move_constructible_v<EventFn>);
+
+TEST(EventFn, AcceptsMoveOnlyCallables) {
+  auto flag = std::make_unique<bool>(false);
+  bool* raw = flag.get();
+  EventFn fn = [owned = std::move(flag)] { *owned = true; };
+  fn();
+  EXPECT_TRUE(*raw);
+}
+
+TEST(EventFn, OversizedCapturesFallBackToHeapAndStillFire) {
+  struct Big {
+    char bytes[512] = {};
+    int tag = 7;
+  } big;
+  int seen = 0;
+  EventFn fn = [big, &seen] { seen = big.tag; };
+  EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventQueue, ScheduleMoveOnlyCallbackThroughSimulation) {
+  Simulation sim;
+  auto payload = std::make_unique<int>(41);
+  int result = 0;
+  sim.schedule(10, [p = std::move(payload), &result] { result = *p + 1; });
+  sim.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(EventQueue, SlotReuseDoesNotResurrectCancelledHandles) {
+  EventQueue q;
+  bool a_ran = false;
+  bool b_ran = false;
+  EventHandle a = q.push(10, [&] { a_ran = true; });
+  a.cancel();
+  // The free list is LIFO, so this push reuses a's slot with a new generation.
+  EventHandle b = q.push(20, [&] { b_ran = true; });
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  a.cancel();  // stale handle: must not touch the new occupant
+  EXPECT_TRUE(b.pending());
+
+  SimTime when = 0;
+  EventFn fn;
+  ASSERT_TRUE(q.pop(when, fn));
+  fn();
+  EXPECT_EQ(when, 20);
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+  EXPECT_FALSE(q.pop(when, fn));
+}
+
+TEST(EventQueue, CancellationChurnStress) {
+  // Heavy tombstone churn: every slot is recycled many times; a cancelled or
+  // already-fired event must never fire, and live events must all fire.
+  Simulation sim(123);
+  Rng rng = sim.fork_rng(9);
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  std::vector<EventHandle> handles;
+  std::vector<bool> was_cancelled;
+  for (int round = 0; round < 200; ++round) {
+    handles.clear();
+    was_cancelled.clear();
+    const SimTime base = sim.now();
+    for (int i = 0; i < 100; ++i) {
+      handles.push_back(sim.schedule_at(
+          base + 1 + static_cast<SimTime>(rng.uniform_u64(50)),
+          [&fired] { ++fired; }));
+      was_cancelled.push_back(false);
+    }
+    // Cancel a random half, some of them twice (idempotence under reuse).
+    for (int i = 0; i < 100; ++i) {
+      const std::size_t pick = rng.uniform_u64(handles.size());
+      if (rng.chance(0.5)) {
+        if (!was_cancelled[pick]) {
+          ++cancelled;
+          was_cancelled[pick] = true;
+        }
+        handles[pick].cancel();
+      }
+    }
+    sim.run();
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      EXPECT_FALSE(handles[i].pending());
+    }
+  }
+  EXPECT_EQ(fired + cancelled, 200u * 100u);
+  EXPECT_EQ(sim.events_processed(), fired);
+}
+
+TEST(EventQueue, SteadyStateSchedulePopIsAllocationFree) {
+  Simulation sim;
+  std::uint64_t ticks = 0;
+  // Warm-up: grow the slab and the heap vector past anything the measured
+  // phase needs, then drain.
+  for (int i = 0; i < 4096; ++i) {
+    sim.schedule(i % 101, [&ticks] { ++ticks; });
+  }
+  sim.run();
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      // Realistic capture size (a few words), still within inline capacity.
+      sim.schedule(i % 13, [&ticks, round, i] {
+        ticks += static_cast<std::uint64_t>(round + i);
+      });
+    }
+    sim.run();
+  }
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "schedule+pop cycle allocated";
+  EXPECT_GT(ticks, 0u);
+}
+
+// Mixed schedule/cancel workload driven entirely by the simulation's own RNG:
+// the kernel must be bit-reproducible from the seed.
+std::pair<std::uint64_t, SimTime> churn_run(std::uint64_t seed) {
+  Simulation sim(seed);
+  auto rng = std::make_shared<Rng>(sim.fork_rng(77));
+  auto live = std::make_shared<std::vector<EventHandle>>();
+  auto budget = std::make_shared<int>(5000);
+
+  struct Spawner {
+    Simulation& sim;
+    std::shared_ptr<Rng> rng;
+    std::shared_ptr<std::vector<EventHandle>> live;
+    std::shared_ptr<int> budget;
+    void operator()() const {
+      // Sometimes cancel an outstanding event, sometimes schedule new ones.
+      if (!live->empty() && rng->chance(0.3)) {
+        const std::size_t pick = rng->uniform_u64(live->size());
+        (*live)[pick].cancel();
+        (*live)[pick] = (*live).back();
+        live->pop_back();
+      }
+      const int spawn = static_cast<int>(rng->uniform_u64(3));
+      for (int s = 0; s < spawn && *budget > 0; ++s) {
+        --*budget;
+        live->push_back(sim.schedule(
+            static_cast<SimDuration>(1 + rng->uniform_u64(500)), Spawner{*this}));
+      }
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    --*budget;
+    live->push_back(sim.schedule(static_cast<SimDuration>(1 + i),
+                                 Spawner{sim, rng, live, budget}));
+  }
+  sim.run();
+  return {sim.events_processed(), sim.now()};
+}
+
+TEST(EventQueue, DeterministicUnderScheduleCancelChurn) {
+  const auto a = churn_run(42);
+  const auto b = churn_run(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.first, 50u);  // the workload actually ran events
+
+  const auto c = churn_run(43);
+  // Different seeds should diverge (not a hard guarantee, but with 5000
+  // events the chance of an accidental collision in both fields is nil).
+  EXPECT_TRUE(c.first != a.first || c.second != a.second);
+}
+
+TEST(EventQueue, PopBeforeHonorsHorizon) {
+  EventQueue q;
+  int ran = 0;
+  q.push(10, [&] { ++ran; });
+  q.push(30, [&] { ++ran; });
+  SimTime when = 0;
+  EventFn fn;
+  EXPECT_EQ(q.pop_before(20, when, fn), EventQueue::PopResult::kEvent);
+  EXPECT_EQ(when, 10);
+  EXPECT_EQ(q.pop_before(20, when, fn), EventQueue::PopResult::kLater);
+  EXPECT_EQ(q.pop_before(30, when, fn), EventQueue::PopResult::kEvent);
+  EXPECT_EQ(q.pop_before(30, when, fn), EventQueue::PopResult::kEmpty);
+}
+
+}  // namespace
+}  // namespace harmony::sim

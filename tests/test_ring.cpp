@@ -113,5 +113,63 @@ TEST(TokenRing, TokenForIsStable) {
   EXPECT_NE(TokenRing::token_for(42), TokenRing::token_for(43));
 }
 
+// The per-DC cursor merge inside replicas_nts must reproduce the classic
+// "walk the global ring clockwise, admit nodes while their DC still owes
+// replicas" placement, including the interleaved output order. The reference
+// is derived from replicas_simple with rf = node_count, which yields every
+// node in clockwise first-appearance order.
+std::vector<net::NodeId> nts_reference(const TokenRing& ring,
+                                       const net::Topology& topo, Key key,
+                                       std::vector<int> wanted) {
+  std::vector<net::NodeId> out;
+  for (const net::NodeId n :
+       ring.replicas_simple(key, static_cast<int>(topo.node_count()))) {
+    if (wanted[topo.dc_of(n)] > 0) {
+      out.push_back(n);
+      --wanted[topo.dc_of(n)];
+    }
+  }
+  return out;
+}
+
+TEST(TokenRing, NtsMatchesGlobalWalkReference) {
+  for (const std::size_t nodes : {10u, 13u}) {
+    const auto topo = net::Topology::balanced(nodes, 2);
+    TokenRing ring(topo, 16, 77);
+    for (const auto& rf_per_dc :
+         {std::vector<int>{3, 2}, {2, 2}, {3, 0}, {0, 1}, {1, 1}}) {
+      for (Key k = 0; k < 400; ++k) {
+        EXPECT_EQ(ring.replicas_nts(k, rf_per_dc),
+                  nts_reference(ring, topo, k, rf_per_dc))
+            << "nodes=" << nodes << " key=" << k;
+      }
+    }
+  }
+}
+
+TEST(TokenRing, InlineOverloadsMatchVectorOverloads) {
+  const auto topo = net::Topology::balanced(12, 2);
+  TokenRing ring(topo, 32, 5);
+  const DcCounts rf_per_dc{2, 1};
+  const std::vector<int> rf_per_dc_vec{2, 1};
+  for (Key k = 0; k < 300; ++k) {
+    ReplicaList simple;
+    ring.replicas_simple(k, 3, simple);
+    const auto simple_vec = ring.replicas_simple(k, 3);
+    ASSERT_EQ(simple.size(), simple_vec.size());
+    for (std::size_t i = 0; i < simple.size(); ++i) {
+      EXPECT_EQ(simple[i], simple_vec[i]);
+    }
+
+    ReplicaList nts;
+    ring.replicas_nts(k, rf_per_dc, nts);
+    const auto nts_vec = ring.replicas_nts(k, rf_per_dc_vec);
+    ASSERT_EQ(nts.size(), nts_vec.size());
+    for (std::size_t i = 0; i < nts.size(); ++i) {
+      EXPECT_EQ(nts[i], nts_vec[i]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace harmony::cluster

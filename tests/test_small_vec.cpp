@@ -1,0 +1,61 @@
+#include "common/small_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace harmony {
+namespace {
+
+TEST(SmallVec, BasicOperations) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(3);
+  v.push_back(1);
+  v.emplace_back(2);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 3);
+  EXPECT_EQ(v.back(), 2);
+  EXPECT_EQ(*std::min_element(v.begin(), v.end()), 1);
+  EXPECT_EQ(*std::max_element(v.begin(), v.end()), 3);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVec, AssignResizeAndEquality) {
+  SmallVec<int, 6> a;
+  a.assign(4, 9);
+  EXPECT_EQ(a.size(), 4u);
+  for (const int x : a) EXPECT_EQ(x, 9);
+  a.resize(6, 1);
+  EXPECT_EQ(a.back(), 1);
+  a.resize(2);
+  EXPECT_EQ(a.size(), 2u);
+
+  SmallVec<int, 6> b{9, 9};
+  EXPECT_TRUE(a == b);
+  b.push_back(1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SmallVec, OverflowFailsLoudly) {
+  SmallVec<int, 2> v{1, 2};
+  EXPECT_THROW(v.push_back(3), CheckError);
+  EXPECT_THROW(v.assign(3, 0), CheckError);
+  EXPECT_THROW(v.resize(3), CheckError);
+}
+
+TEST(SmallVec, CopyIsValueSemantics) {
+  SmallVec<int, 4> a{1, 2, 3};
+  SmallVec<int, 4> b = a;
+  b[0] = 99;
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 99);
+}
+
+}  // namespace
+}  // namespace harmony
