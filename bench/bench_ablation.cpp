@@ -6,6 +6,9 @@
 //   4. read repair chance: 0 / 5% / 50%;
 //   5. related-work baselines (Kraska-style rationing, Wang-style rw-ratio)
 //      under the same workload as Harmony.
+//
+// Every variant is a multi-seed sweep cell (see --seeds/--jobs); the whole
+// ablation grid runs concurrently on the thread pool.
 #include "bench_common.h"
 
 #include "core/baselines.h"
@@ -33,12 +36,16 @@ workload::RunConfig base(const bench::BenchArgs& args) {
 }
 
 void add_row(TextTable& table, const std::string& variant,
-             const workload::RunResult& r) {
-  table.add_row({variant, TextTable::pct(r.stale_fraction),
-                 TextTable::num(r.avg_read_replicas, 2),
-                 TextTable::num(r.throughput, 0),
-                 format_duration(static_cast<SimDuration>(r.read_latency.mean())),
-                 std::to_string(r.policy_switches)});
+             const workload::SweepStats& s) {
+  const auto read_mean = s.over(
+      [](const workload::RunResult& r) { return r.read_latency.mean(); });
+  const auto switches = s.over([](const workload::RunResult& r) {
+    return static_cast<double>(r.policy_switches);
+  });
+  table.add_row({variant, bench::ci_pct(s.stale_fraction),
+                 bench::ci_num(s.avg_read_replicas, 2),
+                 bench::ci_num(s.throughput, 0), bench::ci_dur(read_mean),
+                 bench::ci_num(switches, 0)});
 }
 
 }  // namespace
@@ -49,10 +56,20 @@ int main(int argc, char** argv) {
 
   bench::print_header("ablations",
                       "10 nodes / 2 sites, rf=5, heavy read-update, " +
-                          std::to_string(args.ops) + " ops per variant");
+                          std::to_string(args.ops) + " ops per variant, " +
+                          args.seeds_note());
 
   TextTable table({"variant", "stale (oracle)", "avg k", "throughput",
                    "read mean", "switches"});
+
+  workload::SweepRunner sweep(args.sweep_options());
+  std::vector<std::string> variants;
+  const auto add_variant = [&](const std::string& name,
+                               workload::RunConfig cfg) {
+    cfg.label = name;
+    variants.push_back(name);
+    sweep.add(std::move(cfg));
+  };
 
   // 1. contention model.
   {
@@ -60,15 +77,13 @@ int main(int argc, char** argv) {
     core::HarmonyOptions auto_contention;
     auto_contention.tolerance = 0.2;
     cfg.policy = core::harmony_policy(auto_contention);
-    add_row(table, "harmony20, contention=auto (key collision)",
-            workload::run_experiment(cfg));
+    add_variant("harmony20, contention=auto (key collision)", cfg);
 
     core::HarmonyOptions paper_approx;
     paper_approx.tolerance = 0.2;
     paper_approx.contention = 1.0;
     cfg.policy = core::harmony_policy(paper_approx);
-    add_row(table, "harmony20, contention=1.0 (paper approx.)",
-            workload::run_experiment(cfg));
+    add_variant("harmony20, contention=1.0 (paper approx.)", cfg);
   }
 
   // 2. hysteresis.
@@ -78,16 +93,16 @@ int main(int argc, char** argv) {
     cooled.tolerance = 0.2;
     cooled.cooldown = 2 * kSecond;
     cfg.policy = core::harmony_policy(cooled);
-    add_row(table, "harmony20, cooldown=2s", workload::run_experiment(cfg));
+    add_variant("harmony20, cooldown=2s", cfg);
   }
 
   // 3. snitch.
   {
     auto cfg = base(args);
     cfg.policy = core::static_level(cluster::Level::kOne);
-    add_row(table, "ONE, snitch=closest-first", workload::run_experiment(cfg));
+    add_variant("ONE, snitch=closest-first", cfg);
     cfg.cluster.closest_first_snitch = false;
-    add_row(table, "ONE, snitch=shuffle", workload::run_experiment(cfg));
+    add_variant("ONE, snitch=shuffle", cfg);
   }
 
   // 4. read repair chance.
@@ -95,19 +110,23 @@ int main(int argc, char** argv) {
     auto cfg = base(args);
     cfg.cluster.read_repair_chance = chance;
     cfg.policy = core::static_level(cluster::Level::kOne);
-    add_row(table, "ONE, read_repair=" + bench::fmt("%.0f%%", chance * 100),
-            workload::run_experiment(cfg));
+    add_variant("ONE, read_repair=" + bench::fmt("%.0f%%", chance * 100), cfg);
   }
 
   // 5. related-work baselines under the same conditions as Harmony.
   {
     auto cfg = base(args);
     cfg.policy = core::conflict_rationing_policy();
-    add_row(table, "kraska conflict-rationing", workload::run_experiment(cfg));
+    add_variant("kraska conflict-rationing", cfg);
     cfg.policy = core::rw_ratio_policy();
-    add_row(table, "wang rw-ratio threshold", workload::run_experiment(cfg));
+    add_variant("wang rw-ratio threshold", cfg);
     cfg.policy = core::harmony_policy(0.2);
-    add_row(table, "harmony20 (reference)", workload::run_experiment(cfg));
+    add_variant("harmony20 (reference)", cfg);
+  }
+
+  const auto results = sweep.run();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    add_row(table, variants[i], results[i]);
   }
 
   bench::print_table(table, args.csv);

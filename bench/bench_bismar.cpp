@@ -9,6 +9,9 @@
 //      QUORUM (one of the most efficient static choices) while tolerating
 //      only ~3.5% stale reads, whereas ONE is cheaper still but tolerates
 //      up to ~61% stale reads (paper's estimate).
+//
+// Every (pattern x level) sample and every policy row is a multi-seed sweep
+// cell (see --seeds/--jobs); efficiency is computed from across-seed means.
 #include "bench_common.h"
 
 #include "core/bismar.h"
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
       "§IV-B.2a consistency-cost efficiency metric samples",
       "efficiency(level) = consistency^2 / relative cost, sampled across\n"
       "access patterns (write share x key skew); paper: levels with stale\n"
-      "rate < 20% are the efficient ones");
+      "rate < 20% are the efficient ones; " + args.seeds_note());
 
   TextTable samples({"pattern", "level", "stale (oracle)", "rel. cost",
                      "efficiency", "most efficient?"});
@@ -61,10 +64,10 @@ int main(int argc, char** argv) {
       cluster::Level::kOne, cluster::Level::kTwo, cluster::Level::kQuorum,
       cluster::Level::kAll};
 
-  bool efficient_levels_are_fresh = true;
+  // One sweep over the whole pattern x level grid, so every cell runs
+  // concurrently; cells come back in insertion order.
+  workload::SweepRunner grid(args.sweep_options());
   for (const auto& pattern : patterns) {
-    std::vector<workload::RunResult> runs;
-    std::vector<cost::LevelEstimate> estimates;
     for (const auto level : sample_levels) {
       auto cfg = base();
       cfg.workload.op_count = std::max<std::uint64_t>(args.ops / 2, 10'000);
@@ -73,16 +76,34 @@ int main(int argc, char** argv) {
       cfg.workload.request_dist.kind = pattern.dist;
       cfg.label = pattern.name + "/" + cluster::to_string(level);
       cfg.policy = core::static_level(level);
-      auto r = workload::run_experiment(cfg);
+      grid.add(cfg);
+    }
+  }
+  const auto grid_stats = grid.run();
+
+  bool efficient_levels_are_fresh = true;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    std::vector<cost::LevelEstimate> estimates;
+    for (std::size_t l = 0; l < sample_levels.size(); ++l) {
+      const auto& s = grid_stats[p * sample_levels.size() + l];
       cost::LevelEstimate e;
-      e.replicas = cluster::resolve(level, 5, 3).count;
-      e.read_latency_us = r.read_latency.mean();
-      e.write_latency_us = r.write_latency.mean();
+      e.replicas = cluster::resolve(sample_levels[l], 5, 3).count;
+      e.read_latency_us =
+          s.over([](const workload::RunResult& r) {
+             return r.read_latency.mean();
+           }).mean;
+      e.write_latency_us =
+          s.over([](const workload::RunResult& r) {
+             return r.write_latency.mean();
+           }).mean;
       e.cross_dc_bytes_per_op =
-          r.ops ? r.usage.cross_dc_gb * 1e9 / static_cast<double>(r.ops) : 1.0;
-      e.p_stale = r.stale_fraction;
+          s.over([](const workload::RunResult& r) {
+             return r.ops ? r.usage.cross_dc_gb * 1e9 /
+                                static_cast<double>(r.ops)
+                          : 1.0;
+           }).mean;
+      e.p_stale = s.stale_fraction.mean;
       estimates.push_back(e);
-      runs.push_back(std::move(r));
     }
     const cost::ConsistencyCostEfficiency metric;
     const auto points = metric.evaluate(estimates);
@@ -90,10 +111,14 @@ int main(int argc, char** argv) {
     for (std::size_t i = 1; i < points.size(); ++i) {
       if (points[i].efficiency > points[best].efficiency) best = i;
     }
-    if (runs[best].stale_fraction >= 0.20) efficient_levels_are_fresh = false;
+    const auto& best_stats = grid_stats[p * sample_levels.size() + best];
+    if (best_stats.stale_fraction.mean >= 0.20) {
+      efficient_levels_are_fresh = false;
+    }
     for (std::size_t i = 0; i < points.size(); ++i) {
-      samples.add_row({pattern.name, cluster::to_string(sample_levels[i]),
-                       TextTable::pct(runs[i].stale_fraction),
+      const auto& s = grid_stats[p * sample_levels.size() + i];
+      samples.add_row({patterns[p].name, cluster::to_string(sample_levels[i]),
+                       bench::ci_pct(s.stale_fraction),
                        TextTable::num(points[i].relative_cost, 2),
                        TextTable::num(points[i].efficiency, 3),
                        i == best ? "<== best" : ""});
@@ -110,7 +135,8 @@ int main(int argc, char** argv) {
 
   // ---------------- (b) Bismar vs static levels ----------------------------
   bench::print_header("§IV-B.2b Bismar vs static levels",
-                      "same setup as §IV-B.1; Bismar retunes each 200ms tick");
+                      "same setup as §IV-B.1; Bismar retunes each 200ms tick; " +
+                          args.seeds_note());
 
   TextTable table({"policy", "total bill", "vs QUORUM", "stale (oracle)",
                    "stale (paper est.)", "avg replicas/read", "throughput"});
@@ -125,38 +151,43 @@ int main(int argc, char** argv) {
   rows.push_back({"ALL", core::static_level(cluster::Level::kAll)});
   rows.push_back({"bismar", core::bismar_policy()});
 
-  std::vector<workload::RunResult> results;
+  workload::SweepRunner sweep(args.sweep_options());
   for (const auto& row : rows) {
     auto cfg = base();
     cfg.label = row.name;
     cfg.policy = row.factory;
-    results.push_back(workload::run_experiment(cfg));
+    sweep.add(cfg);
   }
-  const double quorum_bill = results[1].bill.total();
+  const auto results = sweep.run();
+
+  const double quorum_bill = results[1].bill_total.mean;
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = results[i];
-    const double est = bench::paper_style_estimate(
-        r, 5, std::max(1, static_cast<int>(r.avg_read_replicas + 0.5)), 1);
-    table.add_row({rows[i].name, bench::fmt("$%.4f", r.bill.total()),
-                   bench::fmt("%+.0f%%", (r.bill.total() / quorum_bill - 1.0) * 100),
-                   TextTable::pct(r.stale_fraction), TextTable::pct(est),
-                   TextTable::num(r.avg_read_replicas, 2),
-                   TextTable::num(r.throughput, 0)});
+    const auto& s = results[i];
+    table.add_row(
+        {rows[i].name, bench::ci_money(s.bill_total),
+         bench::fmt("%+.0f%%", (s.bill_total.mean / quorum_bill - 1.0) * 100),
+         bench::ci_pct(s.stale_fraction),
+         bench::ci_pct(bench::estimate_summary(s, 5, 1)),
+         bench::ci_num(s.avg_read_replicas, 2),
+         bench::ci_num(s.throughput, 0)});
   }
   bench::print_table(table, args.csv);
   std::printf("\n");
 
   const auto& bismar = results[3];
   const auto& one = results[0];
-  const double cut = 1.0 - bismar.bill.total() / quorum_bill;
+  const double cut = 1.0 - bismar.bill_total.mean / quorum_bill;
+  const double one_est =
+      one.over([](const workload::RunResult& r) {
+           return bench::paper_style_estimate(r, 5, 1, 1);
+         }).mean;
   bench::claim(
       "Bismar cuts cost by ~31% vs static QUORUM while tolerating only ~3.5% "
       "stale reads; only ONE costs less but tolerates ~61% stale reads (est.)",
       "bismar bill " + bench::fmt("%.0f%%", cut * 100) +
-          " below QUORUM at " + bench::fmt("%.1f%%", bismar.stale_fraction * 100) +
+          " below QUORUM at " +
+          bench::fmt("%.1f%%", bismar.stale_fraction.mean * 100) +
           " stale (oracle); ONE is cheapest at " +
-          bench::fmt("%.1f%%",
-                     bench::paper_style_estimate(one, 5, 1, 1) * 100) +
-          " estimated stale");
+          bench::fmt("%.1f%%", one_est * 100) + " estimated stale");
   return 0;
 }

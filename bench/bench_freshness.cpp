@@ -9,11 +9,37 @@
 //
 // This bench sweeps deadlines and guarantee strengths and reports the level
 // the policy settles on, the model's violation estimate, and the measured
-// staleness-age tail.
+// staleness-age tail. Every (deadline, epsilon) point is a multi-seed sweep
+// cell (see --seeds/--jobs); age percentiles come from the histograms merged
+// across seeds.
 #include "bench_common.h"
 
 #include "core/freshness_sla.h"
 #include "core/static_policy.h"
+
+namespace {
+
+/// Measured deadline violations of one run: stale reads older than the bound
+/// (conservative bucket count from the age histogram), as a fraction of all
+/// judged reads.
+double violation_rate(const harmony::workload::RunResult& r,
+                      harmony::SimDuration deadline) {
+  std::uint64_t violations = 0;
+  if (r.staleness_age.count() > 0 && r.staleness_age.max() > deadline) {
+    for (int q = 100; q >= 1; --q) {
+      if (r.staleness_age.percentile(q) <= deadline) {
+        violations = r.staleness_age.count() * (100 - q) / 100;
+        break;
+      }
+    }
+    if (violations == 0) violations = 1;
+  }
+  const auto judged = r.stale_reads + r.fresh_reads;
+  return judged ? static_cast<double>(violations) / static_cast<double>(judged)
+                : 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace harmony;
@@ -39,7 +65,8 @@ int main(int argc, char** argv) {
       "§V freshness-deadline guarantees",
       "10 nodes / 2 sites (9ms WAN), rf=5, heavy read-update, " +
           std::to_string(args.ops) +
-          " ops; guarantee: P(age > deadline) <= epsilon");
+          " ops; guarantee: P(age > deadline) <= epsilon; " +
+          args.seeds_note());
 
   TextTable table({"deadline", "epsilon", "avg replicas", "stale (oracle)",
                    "age p95 (stale reads)", "age max", "deadline violations",
@@ -57,40 +84,32 @@ int main(int argc, char** argv) {
       {500, 0.01},                // sub-ms freshness: near-strong
   };
 
+  workload::SweepRunner sweep_runner(args.sweep_options());
   for (const auto& sweep : sweeps) {
     auto cfg = base();
     core::FreshnessSlaOptions opt;
     opt.deadline = sweep.deadline;
     opt.epsilon = sweep.epsilon;
-    cfg.label = "freshness";
+    cfg.label = "freshness " + format_duration(sweep.deadline);
     cfg.policy = core::freshness_sla_policy(opt);
-    const auto r = workload::run_experiment(cfg);
+    sweep_runner.add(cfg);
+  }
+  const auto results = sweep_runner.run();
 
-    // Count measured deadline violations: stale reads older than the bound.
-    std::uint64_t violations = 0;
-    if (r.staleness_age.count() > 0 &&
-        r.staleness_age.max() > sweep.deadline) {
-      // Conservative bucket count from the age histogram.
-      for (int q = 100; q >= 1; --q) {
-        if (r.staleness_age.percentile(q) <= sweep.deadline) {
-          violations = r.staleness_age.count() * (100 - q) / 100;
-          break;
-        }
-      }
-      if (violations == 0) violations = 1;
-    }
-    const auto judged = r.stale_reads + r.fresh_reads;
-    const double violation_rate =
-        judged ? static_cast<double>(violations) / static_cast<double>(judged)
-               : 0.0;
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const auto& sweep = sweeps[i];
+    const auto& s = results[i];
+    const auto violations = s.over([&sweep](const workload::RunResult& r) {
+      return violation_rate(r, sweep.deadline);
+    });
     table.add_row({format_duration(sweep.deadline),
                    TextTable::pct(sweep.epsilon),
-                   TextTable::num(r.avg_read_replicas, 2),
-                   TextTable::pct(r.stale_fraction),
-                   format_duration(r.staleness_age.p95()),
-                   format_duration(r.staleness_age.max()),
-                   TextTable::pct(violation_rate, 2),
-                   TextTable::num(r.throughput, 0)});
+                   bench::ci_num(s.avg_read_replicas, 2),
+                   bench::ci_pct(s.stale_fraction),
+                   format_duration(s.staleness_age.p95()),
+                   format_duration(s.staleness_age.max()),
+                   bench::ci_pct(violations, 2),
+                   bench::ci_num(s.throughput, 0)});
   }
   bench::print_table(table, args.csv);
   std::printf("\n");

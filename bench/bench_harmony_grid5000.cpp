@@ -10,6 +10,9 @@
 // Paper claims: Harmony cuts stale reads vs eventual by ~80% at minimal
 // added latency, and improves throughput vs strong by up to 45% while
 // keeping the application's staleness requirement.
+//
+// Each policy row is a multi-seed sweep cell (see --seeds/--jobs in
+// bench_common.h); the table reports across-seed means ±95% CI.
 #include "bench_common.h"
 
 #include "core/harmony.h"
@@ -56,28 +59,34 @@ int main(int argc, char** argv) {
   bench::print_header(
       "§IV-A Harmony on Grid'5000",
       "84 nodes / 2 sites, rf=3, heavy read-update (zipfian), " +
-          std::to_string(args.ops) + " ops (paper: 3M), tolerances 20%/40%");
+          std::to_string(args.ops) + " ops (paper: 3M), tolerances 20%/40%, " +
+          args.seeds_note());
 
-  TextTable table({"policy", "throughput (ops/s)", "read mean", "read p95",
-                   "stale (oracle)", "stale (paper est.)", "avg replicas/read"});
-
-  std::vector<workload::RunResult> results;
+  workload::SweepRunner sweep(args.sweep_options());
   for (const auto& row : rows) {
     auto cfg = base();
     cfg.label = row.name;
     cfg.policy = row.factory;
-    auto r = workload::run_experiment(cfg);
-    const double est = bench::paper_style_estimate(
-        r, cfg.cluster.rf,
-        std::max(1, static_cast<int>(r.avg_read_replicas + 0.5)),
-        row.write_acks);
-    table.add_row({row.name, TextTable::num(r.throughput, 0),
-                   format_duration(static_cast<SimDuration>(r.read_latency.mean())),
-                   format_duration(r.read_latency.p95()),
-                   TextTable::pct(r.stale_fraction),
-                   TextTable::pct(est),
-                   TextTable::num(r.avg_read_replicas, 2)});
-    results.push_back(std::move(r));
+    sweep.add(cfg);
+  }
+  const auto results = sweep.run();
+
+  TextTable table({"policy", "throughput (ops/s)", "read mean", "read p95",
+                   "stale (oracle)", "stale (paper est.)", "avg replicas/read"});
+  std::vector<workload::MetricSummary> read_means;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& s = results[i];
+    read_means.push_back(s.over(
+        [](const workload::RunResult& r) { return r.read_latency.mean(); }));
+    const auto read_p95 = s.over([](const workload::RunResult& r) {
+      return static_cast<double>(r.read_latency.p95());
+    });
+    table.add_row({rows[i].name, bench::ci_num(s.throughput, 0),
+                   bench::ci_dur(read_means.back()), bench::ci_dur(read_p95),
+                   bench::ci_pct(s.stale_fraction),
+                   bench::ci_pct(bench::estimate_summary(s, 3,
+                                                         rows[i].write_acks)),
+                   bench::ci_num(s.avg_read_replicas, 2)});
   }
   bench::print_table(table, args.csv);
   std::printf("\n");
@@ -86,13 +95,14 @@ int main(int argc, char** argv) {
   const auto& strong = results[3];
   double best_stale_cut = 0, best_thr_gain = -1;
   for (std::size_t i = 1; i <= 2; ++i) {
-    if (one.stale_fraction > 0) {
-      best_stale_cut = std::max(
-          best_stale_cut, 1.0 - results[i].stale_fraction / one.stale_fraction);
+    if (one.stale_fraction.mean > 0) {
+      best_stale_cut =
+          std::max(best_stale_cut,
+                   1.0 - results[i].stale_fraction.mean / one.stale_fraction.mean);
     }
-    if (strong.throughput > 0) {
-      best_thr_gain = std::max(best_thr_gain,
-                               results[i].throughput / strong.throughput - 1.0);
+    if (strong.throughput.mean > 0) {
+      best_thr_gain = std::max(
+          best_thr_gain, results[i].throughput.mean / strong.throughput.mean - 1.0);
     }
   }
   bench::claim(
@@ -102,9 +112,8 @@ int main(int argc, char** argv) {
           bench::fmt("%.0f%%", best_stale_cut * 100) +
           " vs ONE; best throughput " + bench::fmt("%+.0f%%", best_thr_gain * 100) +
           " vs strong(QUORUM); read mean " +
-          format_duration(
-              static_cast<SimDuration>(results[1].read_latency.mean())) +
+          format_duration(static_cast<SimDuration>(read_means[1].mean)) +
           " vs ONE " +
-          format_duration(static_cast<SimDuration>(one.read_latency.mean())));
+          format_duration(static_cast<SimDuration>(read_means[0].mean)));
   return 0;
 }

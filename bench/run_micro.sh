@@ -28,3 +28,19 @@ fi
   "$@"
 
 echo "wrote ${out}"
+
+# Sweep determinism check: a small multi-seed sweep must produce byte-identical
+# output regardless of --jobs (each cell is an independent single-threaded
+# simulation; aggregation order is fixed). Catches nondeterminism creeping
+# into the parallel experiment path.
+sweep_flags="--ops=4000 --seeds=2"
+"${build_dir}/bench_harmony_ec2" ${sweep_flags} --jobs=1 > /tmp/sweep_j1.$$
+"${build_dir}/bench_harmony_ec2" ${sweep_flags} --jobs=2 > /tmp/sweep_j2.$$
+if ! diff -q /tmp/sweep_j1.$$ /tmp/sweep_j2.$$ >/dev/null; then
+  echo "ERROR: multi-seed sweep output differs between --jobs=1 and --jobs=2" >&2
+  diff /tmp/sweep_j1.$$ /tmp/sweep_j2.$$ >&2 || true
+  rm -f /tmp/sweep_j1.$$ /tmp/sweep_j2.$$
+  exit 1
+fi
+rm -f /tmp/sweep_j1.$$ /tmp/sweep_j2.$$
+echo "sweep determinism OK (--jobs=1 == --jobs=2)"

@@ -427,6 +427,7 @@ void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
   PendingRead r;
   r.key = key;
   r.start = sim_->now();
+  oracle_.begin_read(r.start);
   r.client_dc = client_dc;
   r.needed = req.count;
   r.each_quorum = req.each_quorum;
@@ -492,6 +493,7 @@ void Cluster::start_read(std::uint64_t id) {
     account_client(cfg_.message_overhead_bytes);
     const SimDuration back = coord_delay + client_link_delay(rng_);
     auto cb = std::move(r.cb);
+    oracle_.end_read(r.start);
     pending_reads_.erase(it);
     sim_->schedule(back, [cb = std::move(cb)] { cb(ReadResult{}); });
     return;
@@ -629,20 +631,19 @@ void Cluster::finish_read(std::uint64_t id, bool ok) {
   account_client(cfg_.message_overhead_bytes +
                  (result.found ? result.value_size : 0));
   const SimDuration back = client_link_delay(rng_);
-  const Key key = r.key;
-  const SimTime started = r.start;
-  const Version returned = result.found ? result.version : kNoVersion;
+  // Judge now rather than at delivery: any commit recorded between here and
+  // the client callback is newer than this read's start, so the judgement is
+  // the same either way — and ending the read lets the oracle fold history.
+  if (result.ok) {
+    const Version returned = result.found ? result.version : kNoVersion;
+    const auto judgement = oracle_.judge(r.key, returned, r.start);
+    result.stale = judgement.stale;
+    result.staleness_age = judgement.age;
+  }
+  oracle_.end_read(r.start);
   auto cb = std::move(r.cb);
   pending_reads_.erase(it);
-  sim_->schedule(back, [this, cb = std::move(cb), result, key, started,
-                        returned]() mutable {
-    if (result.ok) {
-      const auto judgement = oracle_.judge(key, returned, started);
-      result.stale = judgement.stale;
-      result.staleness_age = judgement.age;
-    }
-    cb(result);
-  });
+  sim_->schedule(back, [cb = std::move(cb), result] { cb(result); });
 }
 
 void Cluster::send_repair(net::NodeId coord, net::NodeId target, Key key,

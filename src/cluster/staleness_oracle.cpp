@@ -2,13 +2,32 @@
 
 namespace harmony::cluster {
 
+SimTime StalenessOracle::horizon(SimTime now) const {
+  return inflight_.empty() ? now : std::min(now, *inflight_.begin());
+}
+
 void StalenessOracle::record_commit(Key key, const Version& version,
                                     SimTime commit_time) {
   auto& q = commits_[key];
   q.push_back({commit_time, version});
   // Commits arrive in commit-time order by construction (simulation time is
-  // monotone), so pruning from the front keeps the newest history.
-  while (q.size() > kMaxPerKey) q.pop_front();
+  // monotone). Every read still in flight started at or after the horizon, so
+  // a judgement can only distinguish commits after it; fold everything at or
+  // before the horizon into one entry carrying the max version seen so far.
+  const SimTime h = horizon(commit_time);
+  while (q.size() >= 2 && q[1].commit_time <= h) {
+    if (q[0].version.newer_than(q[1].version)) q[1].version = q[0].version;
+    q.pop_front();
+  }
+}
+
+void StalenessOracle::begin_read(SimTime read_start) {
+  inflight_.insert(read_start);
+}
+
+void StalenessOracle::end_read(SimTime read_start) {
+  const auto it = inflight_.find(read_start);
+  if (it != inflight_.end()) inflight_.erase(it);
 }
 
 StalenessOracle::Judgement StalenessOracle::judge(Key key,
@@ -39,6 +58,11 @@ StalenessOracle::Judgement StalenessOracle::judge(Key key,
     ++fresh_;
   }
   return j;
+}
+
+std::size_t StalenessOracle::history_size(Key key) const {
+  const auto it = commits_.find(key);
+  return it == commits_.end() ? 0 : it->second.size();
 }
 
 void StalenessOracle::reset_counters() {

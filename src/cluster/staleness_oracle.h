@@ -6,10 +6,16 @@
 // newer version than the one returned. It also measures the *staleness age*
 // (how far behind the returned value was), which the freshness-deadline
 // extension (§V) builds on.
+//
+// Callers register reads with begin_read()/end_read() so the oracle knows how
+// far back in-flight reads can look; commit history older than the oldest
+// in-flight read is folded into a single max-version entry per key, keeping
+// memory bounded without ever evicting a version a pending judgement needs.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <set>
 #include <unordered_map>
 
 #include "cluster/versioned_value.h"
@@ -21,6 +27,12 @@ class StalenessOracle {
  public:
   /// A write reached its client-visible commit point (required acks met).
   void record_commit(Key key, const Version& version, SimTime commit_time);
+
+  /// A read started at `read_start`; commits at or before that instant must
+  /// stay judgeable until the matching end_read(). Pair every begin_read with
+  /// exactly one end_read (after judge(), or directly for failed reads).
+  void begin_read(SimTime read_start);
+  void end_read(SimTime read_start);
 
   struct Judgement {
     bool stale = false;
@@ -42,6 +54,10 @@ class StalenessOracle {
   /// Distribution of staleness ages over *stale* reads.
   const LatencyHistogram& staleness_age() const { return age_hist_; }
 
+  /// Commits currently retained for `key` (test/diagnostic hook).
+  std::size_t history_size(Key key) const;
+  std::size_t inflight_reads() const { return inflight_.size(); }
+
   void reset_counters();
 
  private:
@@ -49,13 +65,18 @@ class StalenessOracle {
     SimTime commit_time;
     Version version;
   };
-  // Per key: recent commits ordered by commit_time. Pruned so that only the
-  // newest version older than any plausible in-flight read is retained.
+  /// Oldest instant an in-flight (or future) read may look back to.
+  SimTime horizon(SimTime now) const;
+
+  // Per key: recent commits ordered by commit_time. The front entry carries
+  // the max version among all commits at or before the read horizon; entries
+  // behind it are the commits since.
   std::unordered_map<Key, std::deque<Commit>> commits_;
+  // Start times of reads between begin_read and end_read. Starts arrive in
+  // monotone simulation order but complete in any order.
+  std::multiset<SimTime> inflight_;
   std::uint64_t fresh_ = 0, stale_ = 0;
   LatencyHistogram age_hist_;
-
-  static constexpr std::size_t kMaxPerKey = 16;
 };
 
 }  // namespace harmony::cluster

@@ -65,6 +65,10 @@ SimDuration LatencyHistogram::percentile(double p) const {
   auto target = static_cast<std::uint64_t>(target_f);
   if (target < target_f) ++target;
   if (target == 0) target = 1;
+  // The target-th observation for target==1 is the minimum itself (covers
+  // p=0, low percentiles of small samples, and single-observation
+  // histograms), which is tracked exactly — no bucket rounding needed.
+  if (target == 1) return min_;
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     running += buckets_[i];

@@ -26,7 +26,8 @@ class LatencyHistogram {
   SimDuration max() const { return count_ ? max_ : 0; }
 
   /// p in [0,100]; returns the upper bound of the bucket containing the
-  /// p-th percentile observation (0 when empty).
+  /// p-th percentile observation, clamped to [min(), max()] so p=0 yields
+  /// min() and p=100 yields max() exactly (0 when empty).
   SimDuration percentile(double p) const;
   SimDuration median() const { return percentile(50.0); }
   SimDuration p95() const { return percentile(95.0); }

@@ -124,6 +124,40 @@ TEST(Histogram, ResetClears) {
   EXPECT_EQ(h.max(), 0);
 }
 
+TEST(Histogram, PercentileZeroIsExactMin) {
+  // Regression: percentile(0) used to return the first non-empty bucket's
+  // *upper bound*, which overshoots min() once values leave the exact range.
+  LatencyHistogram h;
+  h.record(1000);    // bucketed: bucket upper bound is 1023, not 1000
+  h.record(999983);
+  EXPECT_EQ(h.percentile(0), 1000);
+  EXPECT_EQ(h.percentile(0), h.min());
+}
+
+TEST(Histogram, PercentileHundredIsExactMax) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(999983);
+  EXPECT_EQ(h.percentile(100), 999983);
+  EXPECT_EQ(h.percentile(100), h.max());
+}
+
+TEST(Histogram, SingleObservationAllPercentiles) {
+  LatencyHistogram h;
+  h.record(123456);
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 123456) << "p=" << p;
+  }
+}
+
+TEST(Histogram, LowPercentileNeverBelowMin) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(50000 + i * 7);
+  EXPECT_GE(h.percentile(1), h.min());
+  EXPECT_EQ(h.percentile(0), h.min());
+  EXPECT_LE(h.percentile(1), h.percentile(50));
+}
+
 TEST(Histogram, PercentileArgValidation) {
   LatencyHistogram h;
   h.record(10);

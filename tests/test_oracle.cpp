@@ -90,8 +90,8 @@ TEST(Oracle, AgeHistogramOnlyTracksStale) {
 
 TEST(Oracle, PruningKeepsRecentHistory) {
   StalenessOracle o;
-  // 100 commits; only the most recent ~16 are retained, which is all a
-  // plausible in-flight read needs.
+  // 100 commits with no read in flight; history folds to a single max-version
+  // entry, which is all any future read needs.
   for (int i = 0; i < 100; ++i) {
     o.record_commit(1, {i * 10, static_cast<std::uint64_t>(i)}, i * 10 + 5);
   }
@@ -99,6 +99,79 @@ TEST(Oracle, PruningKeepsRecentHistory) {
   EXPECT_FALSE(j.stale);
   const auto j2 = o.judge(1, {980, 98}, 1000);
   EXPECT_TRUE(j2.stale);
+  EXPECT_EQ(o.history_size(1), 1u);
+}
+
+TEST(Oracle, HotKeyWriteStormKeepsPreReadHistory) {
+  // Regression: pruning used to keep only the newest 16 commits per key, so a
+  // write storm on a hot key *during* a slow read evicted the newest version
+  // committed before the read started, and the read was wrongly judged fresh.
+  StalenessOracle o;
+  o.record_commit(1, {10, 1}, 20);  // superseded before the read
+  o.record_commit(1, {50, 2}, 60);  // newest commit before read start
+  o.begin_read(100);
+  for (int i = 0; i < 40; ++i) {  // 40 > old cap of 16
+    o.record_commit(1, {200 + i * 10, static_cast<std::uint64_t>(3 + i)},
+                    205 + i * 10);
+  }
+  const auto j = o.judge(1, {10, 1}, 100);
+  EXPECT_TRUE(j.stale);
+  EXPECT_EQ(j.age, 40);  // 50 - 10: judged against {50,2}, not the storm
+  o.end_read(100);
+
+  // A read returning the newest pre-read version is fresh despite the storm.
+  o.begin_read(100);
+  const auto j2 = o.judge(1, {50, 2}, 100);
+  EXPECT_FALSE(j2.stale);
+  o.end_read(100);
+}
+
+TEST(Oracle, InFlightReadBoundsPruning) {
+  StalenessOracle o;
+  o.begin_read(100);
+  for (int i = 0; i < 50; ++i) {
+    o.record_commit(1, {200 + i, static_cast<std::uint64_t>(i + 1)}, 200 + i);
+  }
+  // Everything committed after the in-flight read's start must be retained.
+  EXPECT_EQ(o.history_size(1), 50u);
+  o.end_read(100);
+  // With the read gone the next commit folds the backlog away.
+  o.record_commit(1, {300, 51}, 300);
+  EXPECT_EQ(o.history_size(1), 1u);
+}
+
+TEST(Oracle, HorizonFollowsOldestInFlightRead) {
+  StalenessOracle o;
+  o.record_commit(1, {10, 1}, 10);
+  o.begin_read(50);
+  o.begin_read(200);
+  for (int i = 0; i < 10; ++i) {
+    o.record_commit(1, {100 + i, static_cast<std::uint64_t>(2 + i)}, 100 + i);
+  }
+  // The read that started at 50 keeps the pre-50 entry plus the 10 later ones.
+  EXPECT_EQ(o.history_size(1), 11u);
+  o.end_read(50);
+  // Horizon advances to 200: the next commit folds everything up to it.
+  o.record_commit(1, {250, 20}, 250);
+  EXPECT_EQ(o.history_size(1), 2u);
+  // The read at 200 still judges correctly against the folded history.
+  const auto j = o.judge(1, {100, 2}, 200);
+  EXPECT_TRUE(j.stale);
+  EXPECT_EQ(j.age, 9);  // latest before 200 is {109, 11}
+  o.end_read(200);
+}
+
+TEST(Oracle, EndReadWithoutJudgeReleasesHistory) {
+  // Failed reads (timeout/unavailable) end without a judgement; the horizon
+  // must still advance.
+  StalenessOracle o;
+  o.begin_read(100);
+  EXPECT_EQ(o.inflight_reads(), 1u);
+  o.end_read(100);
+  EXPECT_EQ(o.inflight_reads(), 0u);
+  o.record_commit(1, {10, 1}, 110);
+  o.record_commit(1, {20, 2}, 120);
+  EXPECT_EQ(o.history_size(1), 1u);
 }
 
 TEST(Oracle, ResetCounters) {

@@ -74,5 +74,52 @@ TEST(ParallelMap, WorksWithSingleThread) {
   EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}), 36u);
 }
 
+TEST(ParallelMap, PropagatesException) {
+  EXPECT_THROW(parallel_map<int>(
+                   32,
+                   [](std::size_t i) -> int {
+                     if (i == 17) throw std::runtime_error("boom");
+                     return static_cast<int>(i);
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, IndexOrderUnderUnevenWork) {
+  // Tasks finish out of submission order (later indices are much cheaper);
+  // results must still come back in index order.
+  auto out = parallel_map<std::size_t>(
+      64,
+      [](std::size_t i) {
+        volatile std::size_t sink = 0;
+        for (std::size_t k = 0; k < (64 - i) * 5000; ++k) sink = sink + k;
+        return i;
+      },
+      8);
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, ParallelForFirstExceptionWins) {
+  // Several iterations throw; exactly one propagates and the call returns.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i % 10 == 3) {
+                                     throw std::runtime_error("fail");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterParallelForStillWorks) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
 }  // namespace
 }  // namespace harmony
