@@ -25,52 +25,6 @@ int ClusterConfig::local_rf(net::DcId dc) const {
   return std::max(1, static_cast<int>(rf * share + 0.5));
 }
 
-// ------------------------------------------------------------ pending state
-
-// Pending request state is fully inline (SmallVec members): creating,
-// fanning out, and completing a request performs no per-request heap
-// allocation beyond the pending-map node itself.
-struct Cluster::PendingWrite {
-  Key key{};
-  VersionedValue value{};
-  SimTime start = 0;
-  net::DcId client_dc = 0;
-  net::NodeId coord = 0;
-  ReplicaList replicas;
-  int needed = 1;
-  bool local_only = false;
-  bool each_quorum = false;
-  DcCounts needed_per_dc;
-  DcCounts acks_per_dc;
-  int acks = 0;
-  int alive_targets = 0;
-  int completed_targets = 0;  ///< fan-out deliveries that ran (dead or alive)
-  DelayList delays;
-  bool responded = false;
-  WriteCallback cb;
-  sim::EventHandle timeout;
-};
-
-struct Cluster::PendingRead {
-  Key key{};
-  SimTime start = 0;
-  net::DcId client_dc = 0;
-  net::NodeId coord = 0;
-  ReplicaList contacted;
-  ReplicaList all_replicas;
-  int needed = 1;
-  bool each_quorum = false;
-  DcCounts needed_per_dc;
-  DcCounts got_per_dc;
-  int responses = 0;
-  bool found = false;
-  VersionedValue best{};
-  SmallVec<std::pair<net::NodeId, Version>, kMaxReplicas> versions_seen;
-  bool responded = false;
-  ReadCallback cb;
-  sim::EventHandle timeout;
-};
-
 // ------------------------------------------------------------ construction
 
 namespace {
@@ -231,27 +185,27 @@ ReplicaList Cluster::order_for_read(net::NodeId coord,
 
 void Cluster::client_write(net::DcId client_dc, Key key, std::uint32_t size,
                            ReplicaRequirement req, WriteCallback cb) {
-  const std::uint64_t id = next_id_++;
-  PendingWrite w;
-  w.key = key;
-  w.start = sim_->now();
-  w.value = VersionedValue{Version{sim_->now(), ++write_seq_}, size};
-  w.client_dc = client_dc;
-  w.needed = req.count;
-  w.local_only = req.local_only;
-  w.each_quorum = req.each_quorum;
-  w.cb = std::move(cb);
-  pending_writes_.emplace(id, std::move(w));
+  // Acquired slots come back in default state (release resets them), so only
+  // the non-default fields need touching.
+  const auto [h, w] = pending_writes_.acquire();
+  w->key = key;
+  w->start = sim_->now();
+  w->value = VersionedValue{Version{sim_->now(), ++write_seq_}, size};
+  w->client_dc = client_dc;
+  w->needed = req.count;
+  w->local_only = req.local_only;
+  w->each_quorum = req.each_quorum;
+  w->cb = std::move(cb);
 
   account_client(cfg_.message_overhead_bytes + size);
   const SimDuration d = client_link_delay(rng_);
-  sim_->schedule(d, [this, id] { start_write(id); });
+  sim_->schedule(d, [this, h = h] { start_write(h); });
 }
 
-void Cluster::start_write(std::uint64_t id) {
-  auto it = pending_writes_.find(id);
-  if (it == pending_writes_.end()) return;
-  PendingWrite& w = it->second;
+void Cluster::start_write(WriteHandle h) {
+  PendingWrite* wp = pending_writes_.get(h);
+  if (wp == nullptr) return;
+  PendingWrite& w = *wp;
 
   w.coord = pick_coordinator(w.client_dc, rng_);
   Node& coord = *nodes_[w.coord];
@@ -291,7 +245,7 @@ void Cluster::start_write(std::uint64_t id) {
     const SimDuration back = coord_delay + client_link_delay(rng_);
     account_client(cfg_.message_overhead_bytes);
     auto cb = std::move(w.cb);
-    pending_writes_.erase(it);
+    pending_writes_.release(h);
     sim_->schedule(back, [cb = std::move(cb)] { cb(WriteResult{false, kNoVersion}); });
     return;
   }
@@ -314,21 +268,21 @@ void Cluster::start_write(std::uint64_t id) {
     }
     account(w.coord, r, cfg_.message_overhead_bytes + w.value.size_bytes);
     const SimDuration d = coord_delay + link_delay(w.coord, r, rng_);
-    sim_->schedule(d, [this, id, r] { replica_apply_write(id, r); });
+    sim_->schedule(d, [this, h, r] { replica_apply_write(h, r); });
   }
 
-  w.timeout = sim_->schedule(cfg_.request_timeout, [this, id] {
-    auto t = pending_writes_.find(id);
-    if (t == pending_writes_.end() || t->second.responded) return;
+  w.timeout = sim_->schedule(cfg_.request_timeout, [this, h] {
+    PendingWrite* t = pending_writes_.get(h);
+    if (t == nullptr || t->responded) return;
     ++timeouts_;
-    finish_write(id, false);
+    finish_write(h, false);
   });
 }
 
-void Cluster::replica_apply_write(std::uint64_t id, net::NodeId replica) {
-  auto it = pending_writes_.find(id);
-  if (it == pending_writes_.end()) return;
-  PendingWrite& w = it->second;
+void Cluster::replica_apply_write(WriteHandle h, net::NodeId replica) {
+  PendingWrite* wp = pending_writes_.get(h);
+  if (wp == nullptr) return;
+  PendingWrite& w = *wp;
   Node& n = *nodes_[replica];
   if (!n.alive()) {
     // Died mid-flight: mutation lost (hint was only stored for known-dead
@@ -338,7 +292,7 @@ void Cluster::replica_apply_write(std::uint64_t id, net::NodeId replica) {
       if (observer_ != nullptr) {
         observer_->on_write_propagated(w.key, w.start, w.delays);
       }
-      if (w.responded) pending_writes_.erase(it);
+      if (w.responded) pending_writes_.release(h);
     }
     return;
   }
@@ -347,24 +301,24 @@ void Cluster::replica_apply_write(std::uint64_t id, net::NodeId replica) {
   const Key key = w.key;
   const VersionedValue value = w.value;
   const net::NodeId coord = w.coord;
-  sim_->schedule(svc, [this, id, replica, key, value, coord] {
+  sim_->schedule(svc, [this, h, replica, key, value, coord] {
     nodes_[replica]->store().apply(key, value);
-    auto it2 = pending_writes_.find(id);
-    if (it2 == pending_writes_.end()) return;
-    const SimDuration apply_delay = sim_->now() - it2->second.start;
+    PendingWrite* w2 = pending_writes_.get(h);
+    if (w2 == nullptr) return;
+    const SimDuration apply_delay = sim_->now() - w2->start;
     account(replica, coord, cfg_.message_overhead_bytes);
     const SimDuration back = link_delay(replica, coord, rng_);
-    sim_->schedule(back, [this, id, replica, apply_delay] {
-      write_ack(id, replica, apply_delay);
+    sim_->schedule(back, [this, h, replica, apply_delay] {
+      write_ack(h, replica, apply_delay);
     });
   });
 }
 
-void Cluster::write_ack(std::uint64_t id, net::NodeId replica,
+void Cluster::write_ack(WriteHandle h, net::NodeId replica,
                         SimDuration apply_delay) {
-  auto it = pending_writes_.find(id);
-  if (it == pending_writes_.end()) return;
-  PendingWrite& w = it->second;
+  PendingWrite* wp = pending_writes_.get(h);
+  if (wp == nullptr) return;
+  PendingWrite& w = *wp;
 
   ++w.completed_targets;
   w.delays.push_back(apply_delay);
@@ -393,17 +347,17 @@ void Cluster::write_ack(std::uint64_t id, net::NodeId replica,
     observer_->on_write_propagated(w.key, w.start, w.delays);
   }
 
-  if (met && !w.responded) finish_write(id, true);
+  if (met && !w.responded) finish_write(h, true);
 
-  auto it2 = pending_writes_.find(id);
-  if (it2 == pending_writes_.end()) return;
-  if (propagation_done && it2->second.responded) pending_writes_.erase(it2);
+  PendingWrite* w2 = pending_writes_.get(h);
+  if (w2 == nullptr) return;
+  if (propagation_done && w2->responded) pending_writes_.release(h);
 }
 
-void Cluster::finish_write(std::uint64_t id, bool ok) {
-  auto it = pending_writes_.find(id);
-  if (it == pending_writes_.end()) return;
-  PendingWrite& w = it->second;
+void Cluster::finish_write(WriteHandle h, bool ok) {
+  PendingWrite* wp = pending_writes_.get(h);
+  if (wp == nullptr) return;
+  PendingWrite& w = *wp;
   w.responded = true;
   w.timeout.cancel();
   if (ok) oracle_.record_commit(w.key, w.value.version, sim_->now());
@@ -414,40 +368,38 @@ void Cluster::finish_write(std::uint64_t id, bool ok) {
   // even though the pending entry may outlive us for propagation bookkeeping.
   auto cb = std::move(w.cb);
   sim_->schedule(back, [cb = std::move(cb), result] { cb(result); });
-  // Erase now only if propagation already completed; otherwise write_ack's
-  // lifecycle bookkeeping erases it.
-  if (w.completed_targets == w.alive_targets) pending_writes_.erase(it);
+  // Release now only if propagation already completed; otherwise write_ack's
+  // lifecycle bookkeeping releases it.
+  if (w.completed_targets == w.alive_targets) pending_writes_.release(h);
 }
 
 // ------------------------------------------------------------ read path
 
 void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
                           ReadCallback cb) {
-  const std::uint64_t id = next_id_++;
-  PendingRead r;
-  r.key = key;
-  r.start = sim_->now();
-  oracle_.begin_read(r.start);
-  r.client_dc = client_dc;
-  r.needed = req.count;
-  r.each_quorum = req.each_quorum;
-  r.cb = std::move(cb);
+  const auto [h, r] = pending_reads_.acquire();
+  r->key = key;
+  r->start = sim_->now();
+  oracle_.begin_read(r->start);
+  r->client_dc = client_dc;
+  r->needed = req.count;
+  r->each_quorum = req.each_quorum;
+  r->cb = std::move(cb);
   // local_only reads restrict the contact set; encode via needed_per_dc.
   if (req.local_only) {
-    r.needed_per_dc.assign(cfg_.dc_count, 0);
-    r.needed_per_dc[client_dc] = req.count;
+    r->needed_per_dc.assign(cfg_.dc_count, 0);
+    r->needed_per_dc[client_dc] = req.count;
   }
-  pending_reads_.emplace(id, std::move(r));
 
   account_client(cfg_.message_overhead_bytes);
   const SimDuration d = client_link_delay(rng_);
-  sim_->schedule(d, [this, id] { start_read(id); });
+  sim_->schedule(d, [this, h = h] { start_read(h); });
 }
 
-void Cluster::start_read(std::uint64_t id) {
-  auto it = pending_reads_.find(id);
-  if (it == pending_reads_.end()) return;
-  PendingRead& r = it->second;
+void Cluster::start_read(ReadHandle h) {
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr) return;
+  PendingRead& r = *rp;
 
   r.coord = pick_coordinator(r.client_dc, rng_);
   Node& coord = *nodes_[r.coord];
@@ -494,7 +446,7 @@ void Cluster::start_read(std::uint64_t id) {
     const SimDuration back = coord_delay + client_link_delay(rng_);
     auto cb = std::move(r.cb);
     oracle_.end_read(r.start);
-    pending_reads_.erase(it);
+    pending_reads_.release(h);
     sim_->schedule(back, [cb = std::move(cb)] { cb(ReadResult{}); });
     return;
   }
@@ -510,24 +462,24 @@ void Cluster::start_read(std::uint64_t id) {
     const bool data_read = i == 0;  // first (closest) serves data, rest digests
     account(r.coord, replica, cfg_.message_overhead_bytes);
     const SimDuration d = coord_delay + link_delay(r.coord, replica, rng_);
-    sim_->schedule(d, [this, id, replica, data_read, sent_at] {
-      replica_serve_read(id, replica, data_read, sent_at);
+    sim_->schedule(d, [this, h, replica, data_read, sent_at] {
+      replica_serve_read(h, replica, data_read, sent_at);
     });
   }
 
-  r.timeout = sim_->schedule(cfg_.request_timeout, [this, id] {
-    auto t = pending_reads_.find(id);
-    if (t == pending_reads_.end() || t->second.responded) return;
+  r.timeout = sim_->schedule(cfg_.request_timeout, [this, h] {
+    PendingRead* t = pending_reads_.get(h);
+    if (t == nullptr || t->responded) return;
     ++timeouts_;
-    finish_read(id, false);
+    finish_read(h, false);
   });
 }
 
-void Cluster::replica_serve_read(std::uint64_t id, net::NodeId replica,
+void Cluster::replica_serve_read(ReadHandle h, net::NodeId replica,
                                  bool data_read, SimTime sent_at) {
-  auto it = pending_reads_.find(id);
-  if (it == pending_reads_.end()) return;
-  PendingRead& r = it->second;
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr) return;
+  PendingRead& r = *rp;
   Node& n = *nodes_[replica];
   if (!n.alive()) return;  // no response; coordinator timeout handles it
   const SimDuration svc =
@@ -535,7 +487,7 @@ void Cluster::replica_serve_read(std::uint64_t id, net::NodeId replica,
   ++replica_ops_;
   const Key key = r.key;
   const net::NodeId coord = r.coord;
-  sim_->schedule(svc, [this, id, replica, key, coord, data_read, sent_at] {
+  sim_->schedule(svc, [this, h, replica, key, coord, data_read, sent_at] {
     const auto stored = nodes_[replica]->store().read(key);
     const bool found = stored.has_value();
     const VersionedValue value = found ? *stored : VersionedValue{};
@@ -544,26 +496,24 @@ void Cluster::replica_serve_read(std::uint64_t id, net::NodeId replica,
         (data_read && found ? value.size_bytes : cfg_.digest_bytes);
     account(replica, coord, bytes);
     const SimDuration back = link_delay(replica, coord, rng_);
-    sim_->schedule(back, [this, id, replica, found, value, sent_at] {
+    sim_->schedule(back, [this, h, replica, found, value, sent_at] {
       const SimDuration rtt = sim_->now() - sent_at;
-      read_response(id, replica, found, value, rtt);
+      read_response(h, replica, found, value, rtt);
     });
   });
 }
 
-void Cluster::read_response(std::uint64_t id, net::NodeId replica, bool found,
+void Cluster::read_response(ReadHandle h, net::NodeId replica, bool found,
                             VersionedValue value, SimDuration rtt) {
+  PendingRead* rp = pending_reads_.get(h);
   if (observer_ != nullptr) {
     // rtt here is service + return hop; add nothing for the request hop since
     // the observer wants replica responsiveness, which this approximates.
-    const auto it0 = pending_reads_.find(id);
-    const bool cross = it0 != pending_reads_.end() &&
-                       !topo_.same_dc(it0->second.coord, replica);
+    const bool cross = rp != nullptr && !topo_.same_dc(rp->coord, replica);
     observer_->on_replica_read_rtt(replica, rtt, cross);
   }
-  auto it = pending_reads_.find(id);
-  if (it == pending_reads_.end()) return;
-  PendingRead& r = it->second;
+  if (rp == nullptr) return;
+  PendingRead& r = *rp;
   if (r.responded) return;
 
   ++r.responses;
@@ -587,13 +537,13 @@ void Cluster::read_response(std::uint64_t id, net::NodeId replica, bool found,
   } else {
     met = r.responses >= r.needed;
   }
-  if (met) finish_read(id, true);
+  if (met) finish_read(h, true);
 }
 
-void Cluster::finish_read(std::uint64_t id, bool ok) {
-  auto it = pending_reads_.find(id);
-  if (it == pending_reads_.end()) return;
-  PendingRead& r = it->second;
+void Cluster::finish_read(ReadHandle h, bool ok) {
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr) return;
+  PendingRead& r = *rp;
   r.responded = true;
   r.timeout.cancel();
 
@@ -642,7 +592,7 @@ void Cluster::finish_read(std::uint64_t id, bool ok) {
   }
   oracle_.end_read(r.start);
   auto cb = std::move(r.cb);
-  pending_reads_.erase(it);
+  pending_reads_.release(h);
   sim_->schedule(back, [cb = std::move(cb), result] { cb(result); });
 }
 

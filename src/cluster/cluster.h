@@ -17,8 +17,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cluster/consistency.h"
@@ -27,6 +27,7 @@
 #include "cluster/staleness_oracle.h"
 #include "cluster/token_ring.h"
 #include "cluster/versioned_value.h"
+#include "common/slot_pool.h"
 #include "net/latency_model.h"
 #include "net/net_stats.h"
 #include "net/topology.h"
@@ -112,7 +113,7 @@ using WriteCallback = std::function<void(const WriteResult&)>;
 class Cluster {
  public:
   Cluster(sim::Simulation& sim, ClusterConfig cfg);
-  ~Cluster();  // out-of-line: pending-request types are private to the .cpp
+  ~Cluster();
 
   // Non-copyable: owns simulation entities.
   Cluster(const Cluster&) = delete;
@@ -172,8 +173,55 @@ class Cluster {
   sim::Simulation& simulation() { return *sim_; }
 
  private:
-  struct PendingWrite;
-  struct PendingRead;
+  // Pending request state is fully inline (SmallVec members) and lives in a
+  // generation-checked SlotPool: creating, fanning out, and completing a
+  // request performs no per-request heap allocation at all in steady state.
+  // Event callbacks carry {slot, generation} handles; a handle whose request
+  // already completed (late timeout, ack racing an erase) dereferences to
+  // nullptr, exactly as the old map's erased-id lookup missed.
+  struct PendingWrite {
+    Key key{};
+    VersionedValue value{};
+    SimTime start = 0;
+    net::DcId client_dc = 0;
+    net::NodeId coord = 0;
+    ReplicaList replicas;
+    int needed = 1;
+    bool local_only = false;
+    bool each_quorum = false;
+    DcCounts needed_per_dc;
+    DcCounts acks_per_dc;
+    int acks = 0;
+    int alive_targets = 0;
+    int completed_targets = 0;  ///< fan-out deliveries that ran (dead or alive)
+    DelayList delays;
+    bool responded = false;
+    WriteCallback cb;
+    sim::EventHandle timeout;
+  };
+
+  struct PendingRead {
+    Key key{};
+    SimTime start = 0;
+    net::DcId client_dc = 0;
+    net::NodeId coord = 0;
+    ReplicaList contacted;
+    ReplicaList all_replicas;
+    int needed = 1;
+    bool each_quorum = false;
+    DcCounts needed_per_dc;
+    DcCounts got_per_dc;
+    int responses = 0;
+    bool found = false;
+    VersionedValue best{};
+    SmallVec<std::pair<net::NodeId, Version>, kMaxReplicas> versions_seen;
+    bool responded = false;
+    ReadCallback cb;
+    sim::EventHandle timeout;
+  };
+
+  using WriteHandle = SlotPool<PendingWrite>::Handle;
+  using ReadHandle = SlotPool<PendingRead>::Handle;
 
   net::NodeId pick_coordinator(net::DcId dc, Rng& rng);
   SimDuration client_link_delay(Rng& rng);
@@ -185,17 +233,17 @@ class Cluster {
   ReplicaList order_for_read(net::NodeId coord, const ReplicaList& replicas,
                              Rng& rng) const;
 
-  void start_write(std::uint64_t id);
-  void replica_apply_write(std::uint64_t id, net::NodeId replica);
-  void write_ack(std::uint64_t id, net::NodeId replica, SimDuration apply_delay);
-  void finish_write(std::uint64_t id, bool ok);
+  void start_write(WriteHandle h);
+  void replica_apply_write(WriteHandle h, net::NodeId replica);
+  void write_ack(WriteHandle h, net::NodeId replica, SimDuration apply_delay);
+  void finish_write(WriteHandle h, bool ok);
 
-  void start_read(std::uint64_t id);
-  void replica_serve_read(std::uint64_t id, net::NodeId replica, bool data_read,
+  void start_read(ReadHandle h);
+  void replica_serve_read(ReadHandle h, net::NodeId replica, bool data_read,
                           SimTime sent_at);
-  void read_response(std::uint64_t id, net::NodeId replica, bool found,
+  void read_response(ReadHandle h, net::NodeId replica, bool found,
                      VersionedValue value, SimDuration rtt);
-  void finish_read(std::uint64_t id, bool ok);
+  void finish_read(ReadHandle h, bool ok);
   void send_repair(net::NodeId coord, net::NodeId target, Key key,
                    const VersionedValue& value);
 
@@ -228,7 +276,6 @@ class Cluster {
   mutable std::vector<ReplicaCacheEntry> replica_cache_;
   void invalidate_replica_cache();
 
-  std::uint64_t next_id_ = 1;
   std::uint64_t write_seq_ = 0;
   std::uint64_t replica_ops_ = 0;
   std::uint64_t timeouts_ = 0;
@@ -236,8 +283,8 @@ class Cluster {
   std::uint64_t read_repairs_ = 0;
   std::uint64_t anti_entropy_repairs_ = 0;
 
-  std::unordered_map<std::uint64_t, PendingWrite> pending_writes_;
-  std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+  SlotPool<PendingWrite> pending_writes_;
+  SlotPool<PendingRead> pending_reads_;
 
   // Anti-entropy state: keys mutated since the last sweep. The sweep is
   // scheduled lazily (only while dirty keys exist) so an idle cluster's

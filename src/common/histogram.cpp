@@ -1,7 +1,6 @@
 #include "common/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstdio>
 
 #include "common/check.h"
@@ -10,21 +9,6 @@ namespace harmony {
 
 LatencyHistogram::LatencyHistogram()
     : buckets_(static_cast<std::size_t>(kOctaves) * kSubBuckets, 0) {}
-
-std::size_t LatencyHistogram::bucket_index(SimDuration v) {
-  if (v < 0) v = 0;
-  const auto u = static_cast<std::uint64_t>(v);
-  if (u < kSubBuckets) return static_cast<std::size_t>(u);
-  // Octave = position of the highest set bit above the sub-bucket range;
-  // within an octave, the next kSubBucketBits bits select the sub-bucket.
-  const int high = 63 - std::countl_zero(u);
-  const int octave = high - kSubBucketBits + 1;
-  const auto sub = static_cast<std::size_t>(
-      (u >> (high - kSubBucketBits)) & (kSubBuckets - 1));
-  std::size_t idx = static_cast<std::size_t>(octave) * kSubBuckets + sub;
-  const std::size_t last = static_cast<std::size_t>(kOctaves) * kSubBuckets - 1;
-  return idx > last ? last : idx;
-}
 
 SimDuration LatencyHistogram::bucket_upper_bound(std::size_t index) {
   if (index < kSubBuckets) return static_cast<SimDuration>(index);
@@ -36,22 +20,6 @@ SimDuration LatencyHistogram::bucket_upper_bound(std::size_t index) {
   const std::uint64_t lo = base << (high - kSubBucketBits);
   const std::uint64_t width = 1ULL << (high - kSubBucketBits);
   return static_cast<SimDuration>(lo + width - 1);
-}
-
-void LatencyHistogram::record(SimDuration value) { record_n(value, 1); }
-
-void LatencyHistogram::record_n(SimDuration value, std::uint64_t n) {
-  if (n == 0) return;
-  if (value < 0) value = 0;  // durations cannot be negative; clamp
-  buckets_[bucket_index(value)] += n;
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  count_ += n;
-  sum_ += static_cast<double>(value) * static_cast<double>(n);
 }
 
 double LatencyHistogram::mean() const {
@@ -85,13 +53,9 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
-  if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
-  } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
-  }
+  // The sentinels absorb the we-were-empty case without a branch on count_.
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
   count_ += other.count_;
   sum_ += other.sum_;
 }
@@ -100,7 +64,8 @@ void LatencyHistogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0;
-  min_ = max_ = 0;
+  min_ = kMinSentinel;
+  max_ = 0;
 }
 
 std::string LatencyHistogram::summary() const {

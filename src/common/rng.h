@@ -12,6 +12,16 @@
 
 namespace harmony {
 
+/// SplitMix64 finalizer: full-avalanche mixing of one 64-bit value. Also the
+/// hash for the open-addressing tables (ReplicaStore, StalenessOracle),
+/// whose keys are often dense small integers.
+constexpr std::uint64_t hash64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// SplitMix64 step: the standard seeding/forking mixer.
 constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   state += 0x9E3779B97F4A7C15ULL;

@@ -30,9 +30,56 @@ void EventQueue::release_slot(std::uint32_t s) {
   free_head_ = s;
 }
 
+// The pending set is a 4-ary min-heap on (when, seq): half the sift depth of
+// a binary heap, and a node's four children sit in adjacent memory, so the
+// per-level cache miss that dominates pop cost covers all of them at once.
+// (when, seq) is a strict total order, so every pop removes *the* unique
+// minimum — pop order, and with it whole-simulation determinism, is identical
+// to the binary heap this replaces.
+
+void EventQueue::sift_up(std::size_t i) const {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  while (true) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    if (first + 4 <= n) {
+      // Full node (the common case): fixed three-compare tournament the
+      // compiler can unroll, over four entries sharing adjacent cache lines.
+      if (earlier(heap_[first + 1], heap_[best])) best = first + 1;
+      if (earlier(heap_[first + 2], heap_[best])) best = first + 2;
+      if (earlier(heap_[first + 3], heap_[best])) best = first + 3;
+    } else {
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
 void EventQueue::pop_top() const {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapEntry last = heap_.back();
   heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
 }
 
 EventHandle EventQueue::push(SimTime when, EventFn fn) {
@@ -40,7 +87,7 @@ EventHandle EventQueue::push(SimTime when, EventFn fn) {
   Slot& sl = slot(s);
   sl.fn = std::move(fn);
   heap_.push_back(HeapEntry{when, next_seq_++, s, sl.generation});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  sift_up(heap_.size() - 1);
   return EventHandle{this, s, sl.generation};
 }
 

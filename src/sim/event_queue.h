@@ -5,7 +5,7 @@
 //
 // Allocation-free slot-pool design: callbacks live in a free-listed slab of
 // fixed-size chunks (inline storage via InlineFn — no per-event heap traffic
-// once the slab and heap vectors reach steady-state size), the binary heap
+// once the slab and heap vectors reach steady-state size), a 4-ary min-heap
 // holds plain {time, seq, slot, generation} PODs, and handles are
 // {slot, generation} pairs so cancel() is O(1) without shared_ptr
 // bookkeeping. A cancelled or fired slot bumps its generation and returns to
@@ -121,12 +121,12 @@ class EventQueue {
     std::uint32_t slot;
     std::uint32_t generation;
   };
-  struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  /// Strict total order (seq is unique): the heap's pop sequence is fully
+  /// determined, independent of its internal layout.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
   struct Slot {
     EventFn fn;
     std::uint32_t generation = 0;
@@ -154,8 +154,10 @@ class EventQueue {
   void drop_dead() const;
   void take_top(SimTime& when, EventFn& fn);
   void pop_top() const;
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
 
-  mutable std::vector<HeapEntry> heap_;  // binary min-heap via std::*_heap
+  mutable std::vector<HeapEntry> heap_;  // 4-ary min-heap on (when, seq)
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNil;

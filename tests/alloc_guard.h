@@ -1,0 +1,36 @@
+// Binary-wide heap-allocation counting for zero-allocation assertions.
+//
+// alloc_guard.cpp replaces the global operator new (and its array/aligned
+// variants) with versions that bump a counter before delegating to malloc.
+// Counting is side-effect free for every other test in the binary; tests that
+// care wrap their steady-state phase in an AllocGuard and assert
+// allocations() == 0.
+//
+// Link alloc_guard.cpp into any test binary that includes this header.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace harmony::testing {
+
+/// Every global operator new (scalar, array, aligned) increments this.
+extern std::atomic<std::uint64_t> g_alloc_count;
+
+/// Scope marker: allocations() = global allocations since construction.
+class AllocGuard {
+ public:
+  AllocGuard() : start_(g_alloc_count.load(std::memory_order_relaxed)) {}
+
+  std::uint64_t allocations() const {
+    return g_alloc_count.load(std::memory_order_relaxed) - start_;
+  }
+
+  /// Re-arm the guard (start a fresh measured region).
+  void reset() { start_ = g_alloc_count.load(std::memory_order_relaxed); }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace harmony::testing

@@ -1,0 +1,109 @@
+// Naive reference twin of common/histogram.h for the differential harness.
+//
+// Implements the *documented contract* of LatencyHistogram — log-linear
+// buckets (32 sub-buckets per octave, 40 octaves), percentile = upper bound
+// of the bucket holding the ceil(p/100*n)-th observation clamped to
+// [min, max], target==1 answered with the exact minimum — in the most obvious
+// way possible: it keeps every raw sample, sorts on demand, and enumerates
+// bucket bounds with a plain loop instead of bit tricks. Deliberately slow
+// and deliberately free of shared code with the production class (only the
+// ceil-target arithmetic is mirrored verbatim, since the exact float rounding
+// is part of the contract under test).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace harmony::testing {
+
+class ReferenceHistogram {
+ public:
+  void record(SimDuration value) { record_n(value, 1); }
+
+  void record_n(SimDuration value, std::uint64_t n) {
+    if (n == 0) return;
+    if (value < 0) value = 0;
+    for (std::uint64_t i = 0; i < n; ++i) samples_.push_back(value);
+    // Mirror the production accumulation order exactly: one fused
+    // value*n addition per record_n call, so mean() is bit-comparable.
+    sum_ += static_cast<double>(value) * static_cast<double>(n);
+  }
+
+  std::uint64_t count() const { return samples_.size(); }
+
+  double mean() const {
+    return samples_.empty()
+               ? 0.0
+               : sum_ / static_cast<double>(samples_.size());
+  }
+
+  SimDuration min() const {
+    return samples_.empty()
+               ? 0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  SimDuration max() const {
+    return samples_.empty()
+               ? 0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  SimDuration percentile(double p) const {
+    if (samples_.empty()) return 0;
+    // The ceil-with-floor-compare target arithmetic is part of the contract
+    // (it decides which observation a percentile names), so it is mirrored.
+    const double target_f =
+        p / 100.0 * static_cast<double>(samples_.size());
+    auto target = static_cast<std::uint64_t>(target_f);
+    if (target < target_f) ++target;
+    if (target == 0) target = 1;
+    std::vector<SimDuration> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (target == 1) return sorted.front();
+    const SimDuration value = sorted[target - 1];
+    return std::min(naive_bucket_upper_bound(value), sorted.back());
+  }
+
+  void merge(const ReferenceHistogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sum_ += other.sum_;
+  }
+
+  void reset() {
+    samples_.clear();
+    sum_ = 0;
+  }
+
+ private:
+  /// Upper bound of the log-linear bucket containing v, found by walking the
+  /// bucket series in order: octave 0 holds one value per bucket (0..31);
+  /// octave k>0 holds buckets [ (32+sub) * 2^(k-1), +2^(k-1) ) for
+  /// sub = 0..31. First bucket whose upper bound reaches v wins.
+  static SimDuration naive_bucket_upper_bound(SimDuration v) {
+    for (int idx = 0; idx < 32; ++idx) {
+      if (v <= idx) return idx;
+    }
+    SimDuration upper = 31;
+    for (int octave = 1; octave < 40; ++octave) {
+      std::uint64_t width = 1;
+      for (int i = 1; i < octave; ++i) width *= 2;
+      for (int sub = 0; sub < 32; ++sub) {
+        const std::uint64_t lo =
+            (32 + static_cast<std::uint64_t>(sub)) * width;
+        upper = static_cast<SimDuration>(lo + width - 1);
+        if (v <= upper) return upper;
+      }
+    }
+    return upper;  // saturates in the last bucket, as production clamps
+  }
+
+  std::vector<SimDuration> samples_;
+  double sum_ = 0;
+};
+
+}  // namespace harmony::testing

@@ -1,0 +1,81 @@
+// Naive reference twin of cluster/staleness_oracle.h for the differential
+// harness.
+//
+// Keeps the *complete* commit history of every key forever — no horizon, no
+// folding, no pruning — and answers every judgement by scanning all of it.
+// begin_read/end_read only maintain the in-flight count (the naive model
+// needs no horizon bookkeeping, which is exactly what makes it a trustworthy
+// oracle for the production implementation's pruning: if folding ever evicted
+// a version some in-flight read still needed, the two diverge).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/versioned_value.h"
+#include "reference/reference_histogram.h"
+
+namespace harmony::testing {
+
+class ReferenceOracle {
+ public:
+  struct Judgement {
+    bool stale = false;
+    SimDuration age = 0;
+
+    bool operator==(const Judgement&) const = default;
+  };
+
+  void record_commit(cluster::Key key, const cluster::Version& version,
+                     SimTime commit_time) {
+    commits_[key].push_back({commit_time, version});
+  }
+
+  void begin_read(SimTime /*read_start*/) { ++inflight_; }
+  void end_read(SimTime /*read_start*/) {
+    if (inflight_ > 0) --inflight_;
+  }
+
+  Judgement judge(cluster::Key key, const cluster::Version& returned,
+                  SimTime read_start) {
+    Judgement j;
+    cluster::Version latest = cluster::kNoVersion;
+    const auto it = commits_.find(key);
+    if (it != commits_.end()) {
+      for (const auto& c : it->second) {
+        if (c.commit_time <= read_start && c.version.newer_than(latest)) {
+          latest = c.version;
+        }
+      }
+    }
+    if (latest.newer_than(returned)) {
+      j.stale = true;
+      j.age = latest.timestamp - returned.timestamp;
+      if (j.age < 0) j.age = 0;
+      ++stale_;
+      age_hist_.record(j.age);
+    } else {
+      ++fresh_;
+    }
+    return j;
+  }
+
+  std::uint64_t fresh_reads() const { return fresh_; }
+  std::uint64_t stale_reads() const { return stale_; }
+  std::size_t inflight_reads() const { return inflight_; }
+  const ReferenceHistogram& staleness_age() const { return age_hist_; }
+
+ private:
+  struct Commit {
+    SimTime commit_time;
+    cluster::Version version;
+  };
+
+  std::map<cluster::Key, std::vector<Commit>> commits_;
+  std::size_t inflight_ = 0;
+  std::uint64_t fresh_ = 0, stale_ = 0;
+  ReferenceHistogram age_hist_;
+};
+
+}  // namespace harmony::testing

@@ -1,0 +1,40 @@
+// Naive reference twin of common/slot_pool.h for the differential harness.
+//
+// Models the pending-request store the slot pool replaced: a map keyed by a
+// forever-unique id. Lookup of a released id misses — that is the contract
+// the pool's {slot, generation} handles must reproduce even while slots are
+// recycled. The harness acquires/releases/looks-up through both and demands
+// identical hit/miss behaviour and identical payloads on hits.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace harmony::testing {
+
+template <typename T>
+class ReferencePendingMap {
+ public:
+  using Handle = std::uint64_t;
+
+  Handle acquire() {
+    const Handle id = next_id_++;
+    map_.emplace(id, T{});
+    return id;
+  }
+
+  T* get(Handle id) {
+    const auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void release(Handle id) { map_.erase(id); }
+
+  std::size_t live() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Handle, T> map_;
+  Handle next_id_ = 1;
+};
+
+}  // namespace harmony::testing

@@ -6,30 +6,13 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
 #include <memory>
-#include <new>
 #include <type_traits>
 #include <vector>
 
+#include "alloc_guard.h"
 #include "common/rng.h"
 #include "sim/simulation.h"
-
-// Count every global allocation so the steady-state test below can assert the
-// schedule+pop cycle touches the heap zero times. Counting is binary-wide but
-// side-effect free for every other test.
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc{};
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace harmony::sim {
 namespace {
@@ -140,7 +123,7 @@ TEST(EventQueue, SteadyStateSchedulePopIsAllocationFree) {
   }
   sim.run();
 
-  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const harmony::testing::AllocGuard guard;
   for (int round = 0; round < 50; ++round) {
     for (int i = 0; i < 64; ++i) {
       // Realistic capture size (a few words), still within inline capacity.
@@ -150,8 +133,7 @@ TEST(EventQueue, SteadyStateSchedulePopIsAllocationFree) {
     }
     sim.run();
   }
-  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
-  EXPECT_EQ(after - before, 0u) << "schedule+pop cycle allocated";
+  EXPECT_EQ(guard.allocations(), 0u) << "schedule+pop cycle allocated";
   EXPECT_GT(ticks, 0u);
 }
 

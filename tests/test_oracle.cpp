@@ -174,6 +174,88 @@ TEST(Oracle, EndReadWithoutJudgeReleasesHistory) {
   EXPECT_EQ(o.history_size(1), 1u);
 }
 
+TEST(Oracle, ReadBeginningExactlyAtFoldBoundary) {
+  // A read whose start coincides exactly with the horizon commit: folding
+  // merges commits at-or-before the horizon, so the folded front entry must
+  // still carry the max version at that exact instant.
+  StalenessOracle o;
+  o.record_commit(1, {10, 1}, 10);
+  o.record_commit(1, {20, 2}, 20);
+  o.record_commit(1, {30, 3}, 30);
+  o.begin_read(30);  // starts exactly at the newest commit's time
+  // Later commits fold everything at or before t=30 into one entry.
+  o.record_commit(1, {40, 4}, 40);
+  o.record_commit(1, {50, 5}, 50);
+  EXPECT_EQ(o.history_size(1), 3u);  // folded({10,20,30}), 40, 50
+  // The read must still be judged against {30,3}, not a folded-away version.
+  const auto fresh = o.judge(1, {30, 3}, 30);
+  EXPECT_FALSE(fresh.stale);
+  const auto stale = o.judge(1, {20, 2}, 30);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.age, 10);  // 30 - 20
+  o.end_read(30);
+}
+
+TEST(Oracle, TwoInFlightReadsSharingAStartTime) {
+  StalenessOracle o;
+  o.record_commit(1, {10, 1}, 10);
+  o.begin_read(100);
+  o.begin_read(100);  // same instant: two clients, one start time
+  EXPECT_EQ(o.inflight_reads(), 2u);
+  for (int i = 0; i < 20; ++i) {
+    o.record_commit(1, {200 + i, static_cast<std::uint64_t>(2 + i)}, 200 + i);
+  }
+  // Ending ONE of the shared-start reads must not advance the horizon: the
+  // other still needs the pre-100 history.
+  o.end_read(100);
+  EXPECT_EQ(o.inflight_reads(), 1u);
+  o.record_commit(1, {300, 30}, 300);
+  EXPECT_GT(o.history_size(1), 1u);  // no fold yet
+  const auto j = o.judge(1, {10, 1}, 100);
+  EXPECT_FALSE(j.stale);  // {10,1} was the newest commit before t=100
+  o.end_read(100);
+  EXPECT_EQ(o.inflight_reads(), 0u);
+  // Both shared-start reads gone: the next commit folds the backlog.
+  o.record_commit(1, {400, 31}, 400);
+  EXPECT_EQ(o.history_size(1), 1u);
+}
+
+TEST(Oracle, EndReadIsIgnoredWhenUnpaired) {
+  // Failure paths may race: an end_read with no live window (or for an
+  // already-drained start) must be a no-op, as the multiset erase was.
+  StalenessOracle o;
+  o.end_read(50);  // nothing in flight at all
+  EXPECT_EQ(o.inflight_reads(), 0u);
+  o.begin_read(100);
+  o.end_read(40);   // before every live window
+  o.end_read(300);  // after every live window
+  EXPECT_EQ(o.inflight_reads(), 1u);
+  o.end_read(100);
+  o.end_read(100);  // second end for a drained window: ignored
+  EXPECT_EQ(o.inflight_reads(), 0u);
+}
+
+TEST(Oracle, OutOfOrderEndsKeepHorizonAtOldestLiveRead) {
+  // Reads complete in any order; mid-ring windows drain lazily and the
+  // horizon must track the oldest still-live start throughout.
+  StalenessOracle o;
+  o.begin_read(10);
+  o.begin_read(20);
+  o.begin_read(30);
+  o.end_read(20);  // middle window drains first
+  o.record_commit(1, {5, 1}, 35);
+  o.record_commit(1, {6, 2}, 36);
+  // Horizon still 10: nothing foldable behind it.
+  EXPECT_EQ(o.history_size(1), 2u);
+  o.end_read(10);  // now the drained middle window must not pin anything
+  o.record_commit(1, {7, 3}, 40);
+  // Horizon is 30 (not 20): every retained commit landed after it, so all
+  // three stay distinct.
+  EXPECT_EQ(o.history_size(1), 3u);
+  o.end_read(30);
+  EXPECT_EQ(o.inflight_reads(), 0u);
+}
+
 TEST(Oracle, ResetCounters) {
   StalenessOracle o;
   o.record_commit(1, {10, 1}, 20);
