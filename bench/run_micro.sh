@@ -12,7 +12,15 @@ set -euo pipefail
 build_dir="${1:-build}"
 shift || true
 
-out="$(cd "$(dirname "$0")" && pwd)/BENCH_micro.json"
+bench_dir="$(cd "$(dirname "$0")" && pwd)"
+out="${bench_dir}/BENCH_micro.json"
+
+# Keep the previous baseline around for the regression diff below.
+prev=""
+if [ -f "${out}" ]; then
+  prev="$(mktemp /tmp/bench_micro_prev.XXXXXX.json)"
+  cp "${out}" "${prev}"
+fi
 
 # Older google-benchmark (<=1.7) takes a plain double for min_time, newer
 # versions want a unit suffix; try the modern spelling first.
@@ -28,6 +36,26 @@ fi
   "$@"
 
 echo "wrote ${out}"
+
+# Regression gate: fail loudly if a tracked benchmark lost >10% vs the
+# previous committed baseline (meaningful on the same machine state only —
+# the committed JSON records its machine context). Accept a known, documented
+# trade with HARMONY_BENCH_ALLOW_REGRESSION=1.
+if [ -n "${prev}" ]; then
+  if ! python3 "${bench_dir}/diff_micro.py" "${prev}" "${out}"; then
+    if [ "${HARMONY_BENCH_ALLOW_REGRESSION:-0}" = "1" ]; then
+      echo "WARNING: regression accepted via HARMONY_BENCH_ALLOW_REGRESSION=1" >&2
+    else
+      cp "${prev}" "${out}"  # keep the committed baseline intact
+      echo "ERROR: benchmark regression vs previous BENCH_micro.json" >&2
+      echo "       (baseline restored; rerun with" >&2
+      echo "        HARMONY_BENCH_ALLOW_REGRESSION=1 to accept)" >&2
+      rm -f "${prev}"
+      exit 1
+    fi
+  fi
+  rm -f "${prev}"
+fi
 
 # Sweep determinism check: a small multi-seed sweep must produce byte-identical
 # output regardless of --jobs (each cell is an independent single-threaded

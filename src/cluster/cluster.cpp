@@ -31,6 +31,29 @@ namespace {
 net::Topology build_topology(const ClusterConfig& cfg) {
   return net::Topology::balanced(cfg.node_count, cfg.dc_count);
 }
+
+using sim::EventKind;
+using sim::TypedEvent;
+
+/// Header-only part of a cluster-domain typed event; call sites fill the
+/// payload union member their kind's handler reads.
+TypedEvent cluster_event(EventKind kind, Cluster* target) {
+  TypedEvent e;
+  e.kind = kind;
+  e.target = target;
+  return e;
+}
+
+/// kRepairArrive/kRepairApply/kHintDeliver: a keyed mutation headed at a
+/// node (value size rides in `aux`, version in the kv payload).
+TypedEvent kv_event(EventKind kind, Cluster* target, net::NodeId node, Key key,
+                    const VersionedValue& value) {
+  TypedEvent e = cluster_event(kind, target);
+  e.node = static_cast<std::uint16_t>(node);
+  e.aux = value.size_bytes;
+  e.u.kv = {key, value.version.timestamp, value.version.seq};
+  return e;
+}
 }  // namespace
 
 Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
@@ -44,6 +67,9 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
   HARMONY_CHECK(static_cast<std::size_t>(cfg_.rf) <= cfg_.node_count);
   HARMONY_CHECK_MSG(cfg_.rf <= kMaxReplicas, "rf exceeds kMaxReplicas");
   HARMONY_CHECK_MSG(cfg_.dc_count <= kMaxDcs, "dc_count exceeds kMaxDcs");
+  HARMONY_CHECK_MSG(cfg_.node_count <= 0xFFFF,
+                    "typed-lane events carry node ids as u16");
+  sim.set_event_dispatcher(sim::EventDomain::kCluster, &Cluster::dispatch_event);
   for (const int w : cfg_.rf_per_dc()) rf_per_dc_.push_back(w);
   replica_cache_.resize(kReplicaCacheSize);
   if (cfg_.use_nts) {
@@ -61,6 +87,7 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
         static_cast<net::NodeId>(i), cfg_.node,
         sim.fork_rng(0x1000 + static_cast<std::uint64_t>(i))));
   }
+  alive_.assign(cfg_.node_count, 1);
 }
 
 Cluster::~Cluster() = default;
@@ -111,12 +138,12 @@ net::NodeId Cluster::pick_coordinator(net::DcId dc, Rng& rng) {
   auto pick_from = [&](auto&& candidates) -> int {
     std::size_t alive = 0;
     for (const net::NodeId n : candidates) {
-      if (nodes_[n]->alive()) ++alive;
+      if (node_alive(n)) ++alive;
     }
     if (alive == 0) return -1;
     std::uint64_t target = rng.uniform_u64(alive);
     for (const net::NodeId n : candidates) {
-      if (nodes_[n]->alive() && target-- == 0) return static_cast<int>(n);
+      if (node_alive(n) && target-- == 0) return static_cast<int>(n);
     }
     return -1;  // unreachable
   };
@@ -199,7 +226,9 @@ void Cluster::client_write(net::DcId client_dc, Key key, std::uint32_t size,
 
   account_client(cfg_.message_overhead_bytes + size);
   const SimDuration d = client_link_delay(rng_);
-  sim_->schedule(d, [this, h = h] { start_write(h); });
+  TypedEvent ev = cluster_event(EventKind::kStartWrite, this);
+  ev.u.req.h = {h.slot, h.generation};
+  sim_->schedule_event(d, ev);
 }
 
 void Cluster::start_write(WriteHandle h) {
@@ -225,7 +254,7 @@ void Cluster::start_write(WriteHandle h) {
   DcCounts alive_per_dc;
   alive_per_dc.assign(cfg_.dc_count, 0);
   for (const net::NodeId r : w.replicas) {
-    if (!nodes_[r]->alive()) continue;
+    if (!node_alive(r)) continue;
     ++alive_total;
     ++alive_per_dc[topo_.dc_of(r)];
     if (topo_.dc_of(r) == w.client_dc) ++alive_local;
@@ -244,9 +273,13 @@ void Cluster::start_write(WriteHandle h) {
     ++unavailable_;
     const SimDuration back = coord_delay + client_link_delay(rng_);
     account_client(cfg_.message_overhead_bytes);
-    auto cb = std::move(w.cb);
-    pending_writes_.release(h);
-    sim_->schedule(back, [cb = std::move(cb)] { cb(WriteResult{false, kNoVersion}); });
+    // No timeout is armed yet, so marking the record responded parks it
+    // until the typed delivery leg hands the failure to the client.
+    w.responded = true;
+    w.deliver_ok = false;
+    TypedEvent ev = cluster_event(EventKind::kWriteDeliver, this);
+    ev.u.req.h = {h.slot, h.generation};
+    sim_->schedule_event(back, ev);
     return;
   }
 
@@ -256,19 +289,23 @@ void Cluster::start_write(WriteHandle h) {
     dirty_keys_.insert(w.key);
     if (!anti_entropy_scheduled_) {
       anti_entropy_scheduled_ = true;
-      sim_->schedule(cfg_.anti_entropy_period, [this] { anti_entropy_sweep(); });
+      sim_->schedule_event(cfg_.anti_entropy_period,
+                           cluster_event(EventKind::kAntiEntropySweep, this));
     }
   }
 
   // Writes go to every replica; dead targets get hints (hinted handoff).
   for (const net::NodeId r : w.replicas) {
-    if (!nodes_[r]->alive()) {
+    if (!node_alive(r)) {
       hints_.add(r, w.key, w.value);
       continue;
     }
     account(w.coord, r, cfg_.message_overhead_bytes + w.value.size_bytes);
     const SimDuration d = coord_delay + link_delay(w.coord, r, rng_);
-    sim_->schedule(d, [this, h, r] { replica_apply_write(h, r); });
+    TypedEvent ev = cluster_event(EventKind::kWriteApply, this);
+    ev.node = static_cast<std::uint16_t>(r);
+    ev.u.req.h = {h.slot, h.generation};
+    sim_->schedule_event(d, ev);
   }
 
   w.timeout = sim_->schedule(cfg_.request_timeout, [this, h] {
@@ -283,8 +320,7 @@ void Cluster::replica_apply_write(WriteHandle h, net::NodeId replica) {
   PendingWrite* wp = pending_writes_.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
-  Node& n = *nodes_[replica];
-  if (!n.alive()) {
+  if (!node_alive(replica)) {
     // Died mid-flight: mutation lost (hint was only stored for known-dead
     // targets). The lifecycle still completes.
     ++w.completed_targets;
@@ -292,26 +328,34 @@ void Cluster::replica_apply_write(WriteHandle h, net::NodeId replica) {
       if (observer_ != nullptr) {
         observer_->on_write_propagated(w.key, w.start, w.delays);
       }
-      if (w.responded) pending_writes_.release(h);
+      if (w.delivered) pending_writes_.release(h);
     }
     return;
   }
-  const SimDuration svc = n.service(ServiceKind::kWrite, sim_->now());
+  const SimDuration svc = nodes_[replica]->service(ServiceKind::kWrite, sim_->now());
   ++replica_ops_;
-  const Key key = w.key;
-  const VersionedValue value = w.value;
-  const net::NodeId coord = w.coord;
-  sim_->schedule(svc, [this, h, replica, key, value, coord] {
-    nodes_[replica]->store().apply(key, value);
-    PendingWrite* w2 = pending_writes_.get(h);
-    if (w2 == nullptr) return;
-    const SimDuration apply_delay = sim_->now() - w2->start;
-    account(replica, coord, cfg_.message_overhead_bytes);
-    const SimDuration back = link_delay(replica, coord, rng_);
-    sim_->schedule(back, [this, h, replica, apply_delay] {
-      write_ack(h, replica, apply_delay);
-    });
-  });
+  TypedEvent ev = cluster_event(EventKind::kWriteApplied, this);
+  ev.node = static_cast<std::uint16_t>(replica);
+  ev.u.req.h = {h.slot, h.generation};
+  sim_->schedule_event(svc, ev);
+}
+
+void Cluster::write_apply_done(WriteHandle h, net::NodeId replica) {
+  // The pending record provably outlives every apply/ack leg: release
+  // requires completed_targets == alive_targets, and this replica only
+  // counts as completed once its ack (scheduled below) has run. The key,
+  // value, and coordinator are therefore read from the record instead of
+  // traveling in the event.
+  PendingWrite* wp = pending_writes_.get(h);
+  if (wp == nullptr) return;
+  nodes_[replica]->store().apply(wp->key, wp->value);
+  const SimDuration apply_delay = sim_->now() - wp->start;
+  account(replica, wp->coord, cfg_.message_overhead_bytes);
+  const SimDuration back = link_delay(replica, wp->coord, rng_);
+  TypedEvent ev = cluster_event(EventKind::kWriteAck, this);
+  ev.node = static_cast<std::uint16_t>(replica);
+  ev.u.ack = {{h.slot, h.generation}, apply_delay};
+  sim_->schedule_event(back, ev);
 }
 
 void Cluster::write_ack(WriteHandle h, net::NodeId replica,
@@ -351,7 +395,7 @@ void Cluster::write_ack(WriteHandle h, net::NodeId replica,
 
   PendingWrite* w2 = pending_writes_.get(h);
   if (w2 == nullptr) return;
-  if (propagation_done && w2->responded) pending_writes_.release(h);
+  if (propagation_done && w2->delivered) pending_writes_.release(h);
 }
 
 void Cluster::finish_write(WriteHandle h, bool ok) {
@@ -363,14 +407,29 @@ void Cluster::finish_write(WriteHandle h, bool ok) {
   if (ok) oracle_.record_commit(w.key, w.value.version, sim_->now());
   account_client(cfg_.message_overhead_bytes);
   const SimDuration back = client_link_delay(rng_);
-  WriteResult result{ok, ok ? w.value.version : kNoVersion};
-  // Move, don't copy: responded is set, so nothing fires this callback again
-  // even though the pending entry may outlive us for propagation bookkeeping.
-  auto cb = std::move(w.cb);
-  sim_->schedule(back, [cb = std::move(cb), result] { cb(result); });
-  // Release now only if propagation already completed; otherwise write_ack's
-  // lifecycle bookkeeping releases it.
+  // The callback and result stay in the record (responded is set, so nothing
+  // fires them again); the typed delivery leg hands them to the client and
+  // releases the record — or write_ack's lifecycle bookkeeping does, when
+  // propagation is still in flight at delivery time.
+  w.deliver_ok = ok;
+  TypedEvent ev = cluster_event(EventKind::kWriteDeliver, this);
+  ev.u.req.h = {h.slot, h.generation};
+  sim_->schedule_event(back, ev);
+}
+
+void Cluster::write_deliver(WriteHandle h) {
+  PendingWrite* wp = pending_writes_.get(h);
+  if (wp == nullptr) return;
+  PendingWrite& w = *wp;
+  WriteCallback cb = std::move(w.cb);
+  const WriteResult result{w.deliver_ok,
+                           w.deliver_ok ? w.value.version : kNoVersion};
+  w.delivered = true;
+  // Release before invoking: the callback may issue the client's next
+  // operation, and the slot must be reusable by then (as it was when the
+  // closure-lane delivery captured the callback and released up front).
   if (w.completed_targets == w.alive_targets) pending_writes_.release(h);
+  cb(result);
 }
 
 // ------------------------------------------------------------ read path
@@ -393,7 +452,9 @@ void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
 
   account_client(cfg_.message_overhead_bytes);
   const SimDuration d = client_link_delay(rng_);
-  sim_->schedule(d, [this, h = h] { start_read(h); });
+  TypedEvent ev = cluster_event(EventKind::kStartRead, this);
+  ev.u.req.h = {h.slot, h.generation};
+  sim_->schedule_event(d, ev);
 }
 
 void Cluster::start_read(ReadHandle h) {
@@ -421,7 +482,7 @@ void Cluster::start_read(ReadHandle h) {
   DcCounts want_per_dc = r.needed_per_dc;
   int want_global = (r.each_quorum || local_restricted) ? 0 : r.needed;
   for (const net::NodeId n : ordered) {
-    if (!nodes_[n]->alive()) continue;
+    if (!node_alive(n)) continue;
     const net::DcId dc = topo_.dc_of(n);
     if (r.each_quorum || local_restricted) {
       if (want_per_dc[dc] > 0) {
@@ -444,10 +505,13 @@ void Cluster::start_read(ReadHandle h) {
     ++unavailable_;
     account_client(cfg_.message_overhead_bytes);
     const SimDuration back = coord_delay + client_link_delay(rng_);
-    auto cb = std::move(r.cb);
     oracle_.end_read(r.start);
-    pending_reads_.release(h);
-    sim_->schedule(back, [cb = std::move(cb)] { cb(ReadResult{}); });
+    // No timeout armed yet; park the record (responded) until delivery.
+    r.responded = true;
+    r.result = ReadResult{};
+    TypedEvent ev = cluster_event(EventKind::kReadDeliver, this);
+    ev.u.req.h = {h.slot, h.generation};
+    sim_->schedule_event(back, ev);
     return;
   }
   if (r.each_quorum) {
@@ -462,9 +526,11 @@ void Cluster::start_read(ReadHandle h) {
     const bool data_read = i == 0;  // first (closest) serves data, rest digests
     account(r.coord, replica, cfg_.message_overhead_bytes);
     const SimDuration d = coord_delay + link_delay(r.coord, replica, rng_);
-    sim_->schedule(d, [this, h, replica, data_read, sent_at] {
-      replica_serve_read(h, replica, data_read, sent_at);
-    });
+    TypedEvent ev = cluster_event(EventKind::kReadServe, this);
+    ev.node = static_cast<std::uint16_t>(replica);
+    ev.flag = data_read ? 1 : 0;
+    ev.u.serve = {{h.slot, h.generation}, sent_at};
+    sim_->schedule_event(d, ev);
   }
 
   r.timeout = sim_->schedule(cfg_.request_timeout, [this, h] {
@@ -478,43 +544,63 @@ void Cluster::start_read(ReadHandle h) {
 void Cluster::replica_serve_read(ReadHandle h, net::NodeId replica,
                                  bool data_read, SimTime sent_at) {
   PendingRead* rp = pending_reads_.get(h);
-  if (rp == nullptr) return;
+  // A responded record is only parked for its delivery leg; late serve legs
+  // must treat it exactly like the released record they used to find.
+  if (rp == nullptr || rp->responded) return;
   PendingRead& r = *rp;
+  if (!node_alive(replica)) return;  // no response; coordinator timeout handles it
   Node& n = *nodes_[replica];
-  if (!n.alive()) return;  // no response; coordinator timeout handles it
   const SimDuration svc =
       n.service(data_read ? ServiceKind::kRead : ServiceKind::kDigest, sim_->now());
   ++replica_ops_;
-  const Key key = r.key;
-  const net::NodeId coord = r.coord;
-  sim_->schedule(svc, [this, h, replica, key, coord, data_read, sent_at] {
-    const auto stored = nodes_[replica]->store().read(key);
-    const bool found = stored.has_value();
-    const VersionedValue value = found ? *stored : VersionedValue{};
-    const std::uint64_t bytes =
-        cfg_.message_overhead_bytes +
-        (data_read && found ? value.size_bytes : cfg_.digest_bytes);
-    account(replica, coord, bytes);
-    const SimDuration back = link_delay(replica, coord, rng_);
-    sim_->schedule(back, [this, h, replica, found, value, sent_at] {
-      const SimDuration rtt = sim_->now() - sent_at;
-      read_response(h, replica, found, value, rtt);
-    });
-  });
+  // Unlike the write path, the pending record may be gone by service time
+  // (finish_read releases it as soon as the read responds, while late serve
+  // legs still owe their store read and network accounting), so key and
+  // coordinator travel in the event.
+  TypedEvent ev = cluster_event(EventKind::kReadServed, this);
+  ev.node = static_cast<std::uint16_t>(replica);
+  ev.flag = data_read ? 1 : 0;
+  ev.aux = r.coord;
+  ev.u.served = {{h.slot, h.generation}, sent_at, r.key};
+  sim_->schedule_event(svc, ev);
+}
+
+void Cluster::read_serve_done(ReadHandle h, net::NodeId replica, Key key,
+                              net::NodeId coord, bool data_read,
+                              SimTime sent_at) {
+  const auto stored = nodes_[replica]->store().read(key);
+  const bool found = stored.has_value();
+  const VersionedValue value = found ? *stored : VersionedValue{};
+  const std::uint64_t bytes =
+      cfg_.message_overhead_bytes +
+      (data_read && found ? value.size_bytes : cfg_.digest_bytes);
+  account(replica, coord, bytes);
+  const SimDuration back = link_delay(replica, coord, rng_);
+  TypedEvent ev = cluster_event(EventKind::kReadResponse, this);
+  ev.node = static_cast<std::uint16_t>(replica);
+  ev.flag = found ? 1 : 0;
+  ev.aux = value.size_bytes;
+  // rtt is fully determined here (delivery = now + back), so precompute it
+  // instead of carrying sent_at one hop further.
+  ev.u.resp = {{h.slot, h.generation}, value.version.timestamp,
+               value.version.seq, sim_->now() + back - sent_at};
+  sim_->schedule_event(back, ev);
 }
 
 void Cluster::read_response(ReadHandle h, net::NodeId replica, bool found,
                             VersionedValue value, SimDuration rtt) {
   PendingRead* rp = pending_reads_.get(h);
+  // Records parked for delivery (responded) count as gone, as when the
+  // closure-lane delivery released them before this late response arrived.
+  const bool live = rp != nullptr && !rp->responded;
   if (observer_ != nullptr) {
     // rtt here is service + return hop; add nothing for the request hop since
     // the observer wants replica responsiveness, which this approximates.
-    const bool cross = rp != nullptr && !topo_.same_dc(rp->coord, replica);
+    const bool cross = live && !topo_.same_dc(rp->coord, replica);
     observer_->on_replica_read_rtt(replica, rtt, cross);
   }
-  if (rp == nullptr) return;
+  if (!live) return;
   PendingRead& r = *rp;
-  if (r.responded) return;
 
   ++r.responses;
   ++r.got_per_dc[topo_.dc_of(replica)];
@@ -570,7 +656,7 @@ void Cluster::finish_read(ReadHandle h, bool ok) {
           const bool contacted =
               std::find(r.contacted.begin(), r.contacted.end(), n) !=
               r.contacted.end();
-          if (!contacted && nodes_[n]->alive()) {
+          if (!contacted && node_alive(n)) {
             send_repair(r.coord, n, r.key, r.best);
           }
         }
@@ -591,9 +677,23 @@ void Cluster::finish_read(ReadHandle h, bool ok) {
     result.staleness_age = judgement.age;
   }
   oracle_.end_read(r.start);
-  auto cb = std::move(r.cb);
+  // Result and callback wait in the record for the typed delivery leg
+  // (responded is set, so late responses leave them alone).
+  r.result = result;
+  TypedEvent ev = cluster_event(EventKind::kReadDeliver, this);
+  ev.u.req.h = {h.slot, h.generation};
+  sim_->schedule_event(back, ev);
+}
+
+void Cluster::read_deliver(ReadHandle h) {
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr) return;
+  ReadCallback cb = std::move(rp->cb);
+  const ReadResult result = rp->result;
+  // Release before invoking: the callback may issue the client's next
+  // operation (see write_deliver).
   pending_reads_.release(h);
-  sim_->schedule(back, [cb = std::move(cb), result] { cb(result); });
+  cb(result);
 }
 
 void Cluster::send_repair(net::NodeId coord, net::NodeId target, Key key,
@@ -601,15 +701,23 @@ void Cluster::send_repair(net::NodeId coord, net::NodeId target, Key key,
   ++read_repairs_;
   account(coord, target, cfg_.message_overhead_bytes + value.size_bytes);
   const SimDuration d = link_delay(coord, target, rng_);
-  sim_->schedule(d, [this, target, key, value] {
-    Node& n = *nodes_[target];
-    if (!n.alive()) return;
-    const SimDuration svc = n.service(ServiceKind::kWrite, sim_->now());
-    ++replica_ops_;
-    sim_->schedule(svc, [this, target, key, value] {
-      nodes_[target]->store().apply(key, value);
-    });
-  });
+  sim_->schedule_event(d, kv_event(EventKind::kRepairArrive, this, target, key,
+                                   value));
+}
+
+void Cluster::repair_arrive(net::NodeId target, Key key,
+                            const VersionedValue& value) {
+  if (!node_alive(target)) return;
+  Node& n = *nodes_[target];
+  const SimDuration svc = n.service(ServiceKind::kWrite, sim_->now());
+  ++replica_ops_;
+  sim_->schedule_event(svc, kv_event(EventKind::kRepairApply, this, target,
+                                     key, value));
+}
+
+void Cluster::repair_apply(net::NodeId target, Key key,
+                           const VersionedValue& value) {
+  nodes_[target]->store().apply(key, value);
 }
 
 // ------------------------------------------------------------ failures
@@ -617,6 +725,7 @@ void Cluster::send_repair(net::NodeId coord, net::NodeId target, Key key,
 void Cluster::kill_node(net::NodeId id) {
   HARMONY_CHECK(id < nodes_.size());
   nodes_[id]->set_alive(false);
+  alive_[id] = 0;
   invalidate_replica_cache();
 }
 
@@ -624,6 +733,7 @@ void Cluster::revive_node(net::NodeId id) {
   HARMONY_CHECK(id < nodes_.size());
   if (nodes_[id]->alive()) return;
   nodes_[id]->set_alive(true);
+  alive_[id] = 1;
   invalidate_replica_cache();
   replay_hints(id);
 }
@@ -635,17 +745,21 @@ void Cluster::replay_hints(net::NodeId target) {
   for (auto& h : hints) {
     delay += usec(200);
     account(target, target, cfg_.message_overhead_bytes + h.value.size_bytes);
-    sim_->schedule(delay, [this, target, h] {
-      Node& n = *nodes_[target];
-      if (!n.alive()) {
-        hints_.add(target, h.key, h.value);  // went down again: re-hint
-        return;
-      }
-      n.service(ServiceKind::kWrite, sim_->now());
-      ++replica_ops_;
-      n.store().apply(h.key, h.value);
-    });
+    sim_->schedule_event(delay, kv_event(EventKind::kHintDeliver, this, target,
+                                         h.key, h.value));
   }
+}
+
+void Cluster::hint_deliver(net::NodeId target, Key key,
+                           const VersionedValue& value) {
+  if (!node_alive(target)) {
+    hints_.add(target, key, value);  // went down again: re-hint
+    return;
+  }
+  Node& n = *nodes_[target];
+  n.service(ServiceKind::kWrite, sim_->now());
+  ++replica_ops_;
+  n.store().apply(key, value);
 }
 
 void Cluster::anti_entropy_sweep() {
@@ -687,7 +801,77 @@ void Cluster::anti_entropy_sweep() {
   }
   if (!dirty_keys_.empty() && !anti_entropy_scheduled_) {
     anti_entropy_scheduled_ = true;
-    sim_->schedule(cfg_.anti_entropy_period, [this] { anti_entropy_sweep(); });
+    sim_->schedule_event(cfg_.anti_entropy_period,
+                         cluster_event(EventKind::kAntiEntropySweep, this));
+  }
+}
+
+// ------------------------------------------------------------ typed dispatch
+
+void Cluster::dispatch_event(const sim::TypedEvent& ev) {
+  Cluster* c = static_cast<Cluster*>(ev.target);
+  switch (ev.kind) {
+    case EventKind::kStartWrite:
+      c->start_write({ev.u.req.h.slot, ev.u.req.h.gen});
+      break;
+    case EventKind::kWriteApply:
+      c->replica_apply_write({ev.u.req.h.slot, ev.u.req.h.gen}, ev.node);
+      break;
+    case EventKind::kWriteApplied:
+      c->write_apply_done({ev.u.req.h.slot, ev.u.req.h.gen}, ev.node);
+      break;
+    case EventKind::kWriteAck:
+      c->write_ack({ev.u.ack.h.slot, ev.u.ack.h.gen}, ev.node,
+                   ev.u.ack.apply_delay);
+      break;
+    case EventKind::kStartRead:
+      c->start_read({ev.u.req.h.slot, ev.u.req.h.gen});
+      break;
+    case EventKind::kReadServe:
+      c->replica_serve_read({ev.u.serve.h.slot, ev.u.serve.h.gen}, ev.node,
+                            ev.flag != 0, ev.u.serve.sent_at);
+      break;
+    case EventKind::kReadServed:
+      c->read_serve_done({ev.u.served.h.slot, ev.u.served.h.gen}, ev.node,
+                         ev.u.served.key, ev.aux, ev.flag != 0,
+                         ev.u.served.sent_at);
+      break;
+    case EventKind::kReadResponse:
+      c->read_response(
+          {ev.u.resp.h.slot, ev.u.resp.h.gen}, ev.node, ev.flag != 0,
+          VersionedValue{Version{ev.u.resp.version_ts, ev.u.resp.version_seq},
+                         ev.aux},
+          ev.u.resp.rtt);
+      break;
+    case EventKind::kWriteDeliver:
+      c->write_deliver({ev.u.req.h.slot, ev.u.req.h.gen});
+      break;
+    case EventKind::kReadDeliver:
+      c->read_deliver({ev.u.req.h.slot, ev.u.req.h.gen});
+      break;
+    case EventKind::kRepairArrive:
+      c->repair_arrive(
+          ev.node, ev.u.kv.key,
+          VersionedValue{Version{ev.u.kv.version_ts, ev.u.kv.version_seq},
+                         ev.aux});
+      break;
+    case EventKind::kRepairApply:
+      c->repair_apply(
+          ev.node, ev.u.kv.key,
+          VersionedValue{Version{ev.u.kv.version_ts, ev.u.kv.version_seq},
+                         ev.aux});
+      break;
+    case EventKind::kHintDeliver:
+      c->hint_deliver(
+          ev.node, ev.u.kv.key,
+          VersionedValue{Version{ev.u.kv.version_ts, ev.u.kv.version_seq},
+                         ev.aux});
+      break;
+    case EventKind::kAntiEntropySweep:
+      c->anti_entropy_sweep();
+      break;
+    default:
+      HARMONY_CHECK_MSG(false, "unknown cluster event kind");
   }
 }
 

@@ -172,13 +172,27 @@ class Cluster {
 
   sim::Simulation& simulation() { return *sim_; }
 
+  /// Typed-lane dispatcher for the cluster event domain: switches on the
+  /// event kind and calls straight into the member function handlers below.
+  /// Registered on the Simulation at construction; `ev.target` names the
+  /// Cluster instance.
+  static void dispatch_event(const sim::TypedEvent& ev);
+
  private:
   // Pending request state is fully inline (SmallVec members) and lives in a
   // generation-checked SlotPool: creating, fanning out, and completing a
   // request performs no per-request heap allocation at all in steady state.
   // Event callbacks carry {slot, generation} handles; a handle whose request
   // already completed (late timeout, ack racing an erase) dereferences to
-  // nullptr, exactly as the old map's erased-id lookup missed.
+  // nullptr — or, for records held until client delivery, to a record with
+  // `responded` set — exactly as the old map's erased-id lookup missed.
+  //
+  // The record outlives the response: the client-delivery leg rides the typed
+  // lane carrying only the handle, so the callback and result stay in the
+  // record until the delivery event fires (the callback itself cannot ride a
+  // POD event). reset_for_reuse() is the SlotPool recycling hook — cheaper
+  // than assigning a default-constructed temporary, which the release fast
+  // path would otherwise pay per request.
   struct PendingWrite {
     Key key{};
     VersionedValue value{};
@@ -196,8 +210,33 @@ class Cluster {
     int completed_targets = 0;  ///< fan-out deliveries that ran (dead or alive)
     DelayList delays;
     bool responded = false;
+    bool delivered = false;   ///< client callback has run (or is imminent)
+    bool deliver_ok = false;  ///< result the delivery leg will report
     WriteCallback cb;
     sim::EventHandle timeout;
+
+    void reset_for_reuse() {
+      key = {};
+      value = {};
+      start = 0;
+      client_dc = 0;
+      coord = 0;
+      replicas.clear();
+      needed = 1;
+      local_only = false;
+      each_quorum = false;
+      needed_per_dc.clear();
+      acks_per_dc.clear();
+      acks = 0;
+      alive_targets = 0;
+      completed_targets = 0;
+      delays.clear();
+      responded = false;
+      delivered = false;
+      deliver_ok = false;
+      cb = nullptr;
+      timeout = {};
+    }
   };
 
   struct PendingRead {
@@ -216,8 +255,30 @@ class Cluster {
     VersionedValue best{};
     SmallVec<std::pair<net::NodeId, Version>, kMaxReplicas> versions_seen;
     bool responded = false;
+    ReadResult result{};  ///< filled at finish_read, delivered by typed leg
     ReadCallback cb;
     sim::EventHandle timeout;
+
+    void reset_for_reuse() {
+      key = {};
+      start = 0;
+      client_dc = 0;
+      coord = 0;
+      contacted.clear();
+      all_replicas.clear();
+      needed = 1;
+      each_quorum = false;
+      needed_per_dc.clear();
+      got_per_dc.clear();
+      responses = 0;
+      found = false;
+      best = {};
+      versions_seen.clear();
+      responded = false;
+      result = {};
+      cb = nullptr;
+      timeout = {};
+    }
   };
 
   using WriteHandle = SlotPool<PendingWrite>::Handle;
@@ -235,17 +296,25 @@ class Cluster {
 
   void start_write(WriteHandle h);
   void replica_apply_write(WriteHandle h, net::NodeId replica);
+  void write_apply_done(WriteHandle h, net::NodeId replica);
   void write_ack(WriteHandle h, net::NodeId replica, SimDuration apply_delay);
   void finish_write(WriteHandle h, bool ok);
+  void write_deliver(WriteHandle h);
+  void read_deliver(ReadHandle h);
 
   void start_read(ReadHandle h);
   void replica_serve_read(ReadHandle h, net::NodeId replica, bool data_read,
                           SimTime sent_at);
+  void read_serve_done(ReadHandle h, net::NodeId replica, Key key,
+                       net::NodeId coord, bool data_read, SimTime sent_at);
   void read_response(ReadHandle h, net::NodeId replica, bool found,
                      VersionedValue value, SimDuration rtt);
   void finish_read(ReadHandle h, bool ok);
   void send_repair(net::NodeId coord, net::NodeId target, Key key,
                    const VersionedValue& value);
+  void repair_arrive(net::NodeId target, Key key, const VersionedValue& value);
+  void repair_apply(net::NodeId target, Key key, const VersionedValue& value);
+  void hint_deliver(net::NodeId target, Key key, const VersionedValue& value);
 
   void replay_hints(net::NodeId target);
   void anti_entropy_sweep();
@@ -266,15 +335,24 @@ class Cluster {
 
   // Key -> replica set cache (direct-mapped, power-of-two). Placement depends
   // only on the ring, so entries stay valid until membership events; kill()/
-  // revive() flush it anyway out of caution.
+  // revive() flush it anyway out of caution. Sized so conflict misses stay
+  // rare for zipfian working sets of tens of thousands of hot keys (~900KB;
+  // a miss is a full ring walk, ~two orders of magnitude dearer).
   struct ReplicaCacheEntry {
     Key key = 0;
     bool valid = false;
     ReplicaList replicas;
   };
-  static constexpr std::size_t kReplicaCacheSize = 4096;
+  static constexpr std::size_t kReplicaCacheSize = 16384;
   mutable std::vector<ReplicaCacheEntry> replica_cache_;
   void invalidate_replica_cache();
+
+  /// alive()-flags mirrored out of the Node objects: the request path scans
+  /// liveness constantly (coordinator picks, feasibility, contact sets), and
+  /// a contiguous byte array beats a unique_ptr chase per node. kill_node/
+  /// revive_node keep it in sync.
+  std::vector<std::uint8_t> alive_;
+  bool node_alive(net::NodeId id) const { return alive_[id] != 0; }
 
   std::uint64_t write_seq_ = 0;
   std::uint64_t replica_ops_ = 0;

@@ -1,82 +1,36 @@
 #include "cluster/replica_store.h"
 
-#include "common/rng.h"
-
 namespace harmony::cluster {
 
-namespace {
-std::size_t hash_key(Key k) { return static_cast<std::size_t>(hash64(k)); }
-
-constexpr std::size_t kInitialCapacity = 1024;  // power of two
-}  // namespace
-
-ReplicaStore::Entry* ReplicaStore::find_entry(Key key) {
-  if (table_.empty()) return nullptr;
-  const std::size_t mask = table_.size() - 1;
-  std::size_t i = hash_key(key) & mask;
-  while (table_[i].used) {
-    if (table_[i].key == key) return &table_[i];
-    i = (i + 1) & mask;
-  }
-  return nullptr;
-}
-
-const ReplicaStore::Entry* ReplicaStore::find_entry(Key key) const {
-  return const_cast<ReplicaStore*>(this)->find_entry(key);
-}
-
-void ReplicaStore::grow() {
-  std::vector<Entry> old;
-  old.swap(table_);
-  table_.resize(old.empty() ? kInitialCapacity : old.size() * 2);
-  const std::size_t mask = table_.size() - 1;
-  for (const Entry& e : old) {
-    if (!e.used) continue;
-    std::size_t i = hash_key(e.key) & mask;
-    while (table_[i].used) i = (i + 1) & mask;
-    table_[i] = e;
-  }
-}
-
 bool ReplicaStore::apply(Key key, const VersionedValue& value) {
-  // Grow at 50% load *before* probing so the insert below always finds a
-  // free slot in a healthy probe sequence.
-  if ((used_ + 1) * 2 > table_.size()) grow();
-  const std::size_t mask = table_.size() - 1;
-  std::size_t i = hash_key(key) & mask;
-  while (table_[i].used) {
-    if (table_[i].key == key) {
-      Entry& e = table_[i];
-      if (value.version.newer_than(e.value.version)) {
-        stored_bytes_ += value.size_bytes;
-        stored_bytes_ -= e.value.size_bytes;
-        e.value = value;
-        ++writes_applied_;
-        return true;
-      }
-      // Older than what we have: LWW drops it (Cassandra reconciliation).
-      ++writes_superseded_;
-      return false;
-    }
-    i = (i + 1) & mask;
+  const auto [stored, inserted] = table_.insert(key);
+  if (inserted) {
+    *stored = value;
+    stored_bytes_ += value.size_bytes;
+    ++writes_applied_;
+    return true;
   }
-  table_[i] = Entry{key, value, true};
-  ++used_;
-  stored_bytes_ += value.size_bytes;
-  ++writes_applied_;
-  return true;
+  if (value.version.newer_than(stored->version)) {
+    stored_bytes_ += value.size_bytes;
+    stored_bytes_ -= stored->size_bytes;
+    *stored = value;
+    ++writes_applied_;
+    return true;
+  }
+  // Older than what we have: LWW drops it (Cassandra reconciliation).
+  ++writes_superseded_;
+  return false;
 }
 
 std::optional<VersionedValue> ReplicaStore::read(Key key) const {
   ++reads_;
-  const Entry* e = find_entry(key);
-  if (e == nullptr) return std::nullopt;
-  return e->value;
+  const VersionedValue* v = table_.find(key);
+  if (v == nullptr) return std::nullopt;
+  return *v;
 }
 
 void ReplicaStore::clear() {
   table_.clear();
-  used_ = 0;
   stored_bytes_ = 0;
   reads_ = 0;
   writes_applied_ = 0;

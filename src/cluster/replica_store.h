@@ -4,18 +4,18 @@
 // consistency, latency and cost, none of which depend on payload bytes, and
 // dropping payloads lets a laptop-scale simulation carry millions of keys.
 //
-// Storage is a flat open-addressing table (linear probing, power-of-two
-// capacity). Every replica-level read, digest, and write hits this map, and
-// keys are never individually erased, so the flat layout beats the
-// node-per-entry std::unordered_map it replaced: one probe sequence over
-// contiguous memory, no per-insert allocation between growth doublings.
+// Storage is a common/flat_table.h open-addressing table (linear probing,
+// power-of-two capacity, never-erase). Every replica-level read, digest, and
+// write hits this map, so the flat layout beats the node-per-entry
+// std::unordered_map it replaced: one probe sequence over contiguous
+// 32-byte entries, no per-insert allocation between growth doublings.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "cluster/versioned_value.h"
+#include "common/flat_table.h"
 
 namespace harmony::cluster {
 
@@ -26,7 +26,7 @@ class ReplicaStore {
 
   std::optional<VersionedValue> read(Key key) const;
 
-  std::size_t key_count() const { return used_; }
+  std::size_t key_count() const { return table_.size(); }
   std::uint64_t stored_bytes() const { return stored_bytes_; }
 
   std::uint64_t reads() const { return reads_; }
@@ -36,18 +36,7 @@ class ReplicaStore {
   void clear();
 
  private:
-  struct Entry {
-    Key key = 0;
-    VersionedValue value{};
-    bool used = false;
-  };
-
-  Entry* find_entry(Key key);            // nullptr on miss
-  const Entry* find_entry(Key key) const;
-  void grow();
-
-  std::vector<Entry> table_;  // power-of-two; empty until first apply
-  std::size_t used_ = 0;
+  FlatTable<VersionedValue> table_{1024};
   std::uint64_t stored_bytes_ = 0;
   mutable std::uint64_t reads_ = 0;
   std::uint64_t writes_applied_ = 0;

@@ -5,9 +5,6 @@
 namespace harmony::cluster {
 
 namespace {
-std::size_t hash_key(Key k) { return static_cast<std::size_t>(hash64(k)); }
-
-constexpr std::size_t kInitialTable = 256;    // power of two
 constexpr std::size_t kInitialWindows = 64;   // power of two
 }  // namespace
 
@@ -31,54 +28,6 @@ void StalenessOracle::fold(CommitRing& q, SimTime h) {
   while (q.size() >= 2 && q[1].commit_time <= h) {
     if (q[0].version.newer_than(q[1].version)) q[1].version = q[0].version;
     q.pop_front();
-  }
-}
-
-// --------------------------------------------------------------- key table
-
-StalenessOracle::CommitRing& StalenessOracle::history_for(Key key) {
-  if (table_.empty()) table_.resize(kInitialTable);
-  if ((table_used_ + 1) * 2 > table_.size()) grow_table();
-  const std::size_t mask = table_.size() - 1;
-  std::size_t i = hash_key(key) & mask;
-  while (true) {
-    TableEntry& e = table_[i];
-    if (!e.used) {
-      e.used = true;
-      e.key = key;
-      ++table_used_;
-      return e.ring;
-    }
-    if (e.key == key) return e.ring;
-    i = (i + 1) & mask;
-  }
-}
-
-const StalenessOracle::CommitRing* StalenessOracle::find_history(
-    Key key) const {
-  if (table_.empty()) return nullptr;
-  const std::size_t mask = table_.size() - 1;
-  std::size_t i = hash_key(key) & mask;
-  while (true) {
-    const TableEntry& e = table_[i];
-    if (!e.used) return nullptr;
-    if (e.key == key) return &e.ring;
-    i = (i + 1) & mask;
-  }
-}
-
-void StalenessOracle::grow_table() {
-  std::vector<TableEntry> old;
-  old.swap(table_);
-  table_.resize(old.size() * 2);
-  const std::size_t mask = table_.size() - 1;
-  for (TableEntry& e : old) {
-    if (!e.used) continue;
-    std::size_t i = hash_key(e.key) & mask;
-    while (table_[i].used) i = (i + 1) & mask;
-    table_[i].used = true;
-    table_[i].key = e.key;
-    table_[i].ring = std::move(e.ring);
   }
 }
 

@@ -33,6 +33,7 @@
 
 #include "cluster/versioned_value.h"
 #include "common/check.h"
+#include "common/flat_table.h"
 #include "common/histogram.h"
 
 namespace harmony::cluster {
@@ -217,20 +218,13 @@ class StalenessOracle {
                : std::min(now, windows_[window_head_ & window_mask_].start);
   }
 
-  CommitRing& history_for(Key key);          // inserts on miss
-  const CommitRing* find_history(Key key) const;
-  void grow_table();
+  CommitRing& history_for(Key key) { return *table_.insert(key).first; }
+  const CommitRing* find_history(Key key) const { return table_.find(key); }
   void fold(CommitRing& q, SimTime h);
 
-  // Open-addressing, linear-probe table of per-key commit rings. Keys are
-  // never erased, so no tombstones; grows at 50% load.
-  struct TableEntry {
-    Key key = 0;
-    bool used = false;
-    CommitRing ring;
-  };
-  std::vector<TableEntry> table_;
-  std::size_t table_used_ = 0;
+  // Per-key commit rings in the shared open-addressing table (hash64, linear
+  // probe, 50% load, never-erase — common/flat_table.h).
+  FlatTable<CommitRing> table_{256};
 
   // In-flight read windows: distinct start times in monotone order, each with
   // the count of reads sharing it. Entries whose count hits zero mid-ring are

@@ -77,8 +77,13 @@ class InlineFn {
   struct Ops {
     void (*invoke)(void*);
     void (*relocate)(void* src, void* dst);  ///< move into raw dst, destroy src
-    void (*destroy)(void*);
+    void (*destroy)(void*);                  ///< null: trivially destructible
+    /// kNonTrivialRelocate: relocate via the indirect call; otherwise the
+    /// byte count move_from memcpys instead (0 for captureless callables —
+    /// an empty object has no initialized bytes to copy).
+    std::uint32_t trivial_size;
   };
+  static constexpr std::uint32_t kNonTrivialRelocate = 0xFFFFFFFFu;
 
   template <typename D>
   static constexpr Ops inline_ops = {
@@ -88,7 +93,15 @@ class InlineFn {
         ::new (dst) D(std::move(s));
         s.~D();
       },
-      [](void* p) { static_cast<D*>(p)->~D(); },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* p) { static_cast<D*>(p)->~D(); },
+      // Trivially copyable captures (the kernel's POD-capture hot path)
+      // relocate by plain memcpy in move_from — no indirect call.
+      !std::is_trivially_copyable_v<D>
+          ? kNonTrivialRelocate
+          : (std::is_empty_v<D> ? 0u
+                                : static_cast<std::uint32_t>(sizeof(D))),
   };
 
   template <typename D>
@@ -96,12 +109,18 @@ class InlineFn {
       [](void* p) { (**static_cast<D**>(p))(); },
       [](void* src, void* dst) { ::new (dst) D*(*static_cast<D**>(src)); },
       [](void* p) { delete *static_cast<D**>(p); },
+      sizeof(D*),  // relocating the heap pointer is itself a trivial copy
   };
 
   void move_from(InlineFn& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
-      ops_->relocate(other.storage_, storage_);
+      const std::uint32_t ts = ops_->trivial_size;
+      if (ts == kNonTrivialRelocate) {
+        ops_->relocate(other.storage_, storage_);
+      } else if (ts != 0) {
+        std::memcpy(storage_, other.storage_, ts);
+      }
       other.ops_ = nullptr;
     }
   }

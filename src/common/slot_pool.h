@@ -64,13 +64,19 @@ class SlotPool {
 
   /// Release a *live* handle: resets the record to default state (dropping
   /// captured callbacks promptly, as the map's erase did), invalidates every
-  /// outstanding copy of the handle, and recycles the slot.
+  /// outstanding copy of the handle, and recycles the slot. Types that define
+  /// `reset_for_reuse()` reset in place — cheaper than constructing and
+  /// move-assigning a default temporary on the request hot path.
   void release(Handle h) {
     HARMONY_CHECK_MSG(h.slot < slot_count_ &&
                           slot(h.slot).generation == h.generation,
                       "SlotPool::release of a stale handle");
     Slot& sl = slot(h.slot);
-    sl.value = T{};
+    if constexpr (requires(T& t) { t.reset_for_reuse(); }) {
+      sl.value.reset_for_reuse();
+    } else {
+      sl.value = T{};
+    }
     ++sl.generation;
     sl.next_free = free_head_;
     free_head_ = h.slot;

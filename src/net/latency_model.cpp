@@ -6,10 +6,13 @@ namespace harmony::net {
 
 const LatencyTier& TieredLatencyModel::tier(const Topology& topo, NodeId src,
                                             NodeId dst) const {
+  // Mirrors net::classify's fused lookup: one node() per endpoint, and the
+  // same-rack test only after same-DC is established.
   if (src == dst) return p_.loopback;
-  if (topo.same_rack(src, dst)) return p_.same_rack;
-  if (topo.same_dc(src, dst)) return p_.same_dc;
-  return p_.cross_dc;
+  const NodeInfo& a = topo.node(src);
+  const NodeInfo& b = topo.node(dst);
+  if (a.dc != b.dc) return p_.cross_dc;
+  return a.rack == b.rack ? p_.same_rack : p_.same_dc;
 }
 
 SimDuration TieredLatencyModel::sample(const Topology& topo, NodeId src,

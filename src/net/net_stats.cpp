@@ -3,10 +3,13 @@
 namespace harmony::net {
 
 LinkClass classify(const Topology& topo, NodeId src, NodeId dst) {
+  // One checked lookup per endpoint (this runs once per simulated message);
+  // same-rack implies same-DC, so the tier falls out of two field compares.
   if (src == dst) return LinkClass::kLoopback;
-  if (topo.same_rack(src, dst)) return LinkClass::kSameRack;
-  if (topo.same_dc(src, dst)) return LinkClass::kSameDc;
-  return LinkClass::kCrossDc;
+  const NodeInfo& a = topo.node(src);
+  const NodeInfo& b = topo.node(dst);
+  if (a.dc != b.dc) return LinkClass::kCrossDc;
+  return a.rack == b.rack ? LinkClass::kSameRack : LinkClass::kSameDc;
 }
 
 std::string to_string(LinkClass c) {

@@ -1,0 +1,128 @@
+// Typed hot-lane events for the discrete-event kernel.
+//
+// The request path schedules millions of events per experiment, and nearly
+// all of them have one of a dozen fixed shapes: "apply write W at replica R",
+// "deliver read response for request H", and so on. Carrying those shapes as
+// type-erased closures (InlineFn) costs an indirect call, a capture
+// destructor, and a 144-byte slab-slot round trip per event. A TypedEvent is
+// instead a tagged-union POD small enough to ride *inline in the heap entry*:
+// scheduling is a plain 4-ary-heap push, firing is a switch dispatching
+// straight into the owning subsystem's member function, and there is nothing
+// to destroy or recycle afterwards.
+//
+// Lane-selection rules (see bench/README.md "Two-lane event kernel"):
+//   * typed lane — fixed-shape, non-cancellable, POD payload (the request
+//     path's fan-out/service/response legs, repairs, hints, client issue);
+//   * closure lane — anything cancellable (request timeouts, PeriodicTimer)
+//     or carrying non-POD state (client completion callbacks).
+// Both lanes share one (time, seq) sequence, so their events interleave in
+// exactly the order they were scheduled — determinism is lane-independent.
+//
+// Dispatch: the high bits of EventKind select a domain (cluster, workload,
+// user); each domain registers one EventDispatchFn on the Simulation, and the
+// event's `target` pointer names the instance (a Cluster*, a Client*, ...),
+// so one simulation can host many dispatch targets with zero per-event
+// registration.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/time_types.h"
+
+namespace harmony::sim {
+
+/// Event shapes. The value's high bits ("kind >> kEventDomainShift") name the
+/// dispatch domain; 0 is reserved so a zeroed event is never dispatched.
+enum class EventKind : std::uint8_t {
+  kClosure = 0,  ///< reserved: closure-lane heap entries, never dispatched
+
+  // ---- cluster domain (1..15): the replicated-store request path ----------
+  kStartWrite = 1,     ///< client link hop done; coordinator starts the write
+  kWriteApply,         ///< write fan-out leg arrived at a replica
+  kWriteApplied,       ///< replica service done; mutation hits the store
+  kWriteAck,           ///< ack travelled replica -> coordinator
+  kStartRead,          ///< client link hop done; coordinator starts the read
+  kReadServe,          ///< read fan-out leg arrived at a replica
+  kReadServed,         ///< replica service done; value/digest leaves
+  kReadResponse,       ///< response travelled replica -> coordinator
+  kWriteDeliver,       ///< write result travelled coordinator -> client
+  kReadDeliver,        ///< read result travelled coordinator -> client
+  kRepairArrive,       ///< read-repair / anti-entropy mutation reached target
+  kRepairApply,        ///< repair service done; mutation hits the store
+  kHintDeliver,        ///< hinted-handoff replay leg reached its target
+  kAntiEntropySweep,   ///< periodic dirty-key sweep
+
+  // ---- workload domain (16..31): clients --------------------------------
+  kClientIssue = 16,   ///< a client issues its next operation
+
+  // ---- user domain (32..47): free for tests and benches ------------------
+  kUserProbe = 32,
+};
+
+enum class EventDomain : std::uint8_t { kCluster = 0, kWorkload = 1, kUser = 2 };
+inline constexpr std::size_t kEventDomains = 4;
+inline constexpr std::size_t kEventDomainShift = 4;
+
+constexpr std::size_t event_domain_index(EventKind kind) {
+  return static_cast<std::size_t>(kind) >> kEventDomainShift;
+}
+
+/// Tagged-union POD event, 48 bytes: 16-byte header + 32-byte payload. Node
+/// ids travel as u16 (Cluster checks node_count fits at construction); the
+/// payload union member is chosen by `kind` — schedule sites write exactly
+/// the fields their handler reads.
+struct TypedEvent {
+  EventKind kind = EventKind::kClosure;
+  std::uint8_t flag = 0;    ///< data_read / found
+  std::uint16_t node = 0;   ///< replica or repair/hint target node
+  std::uint32_t aux = 0;    ///< coordinator node / value size, per kind
+  void* target = nullptr;   ///< dispatch instance (Cluster*, Client*, ...)
+
+  /// Mirror of SlotPool<>::Handle (kept layout-compatible by value).
+  struct Req {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
+  union Payload {
+    struct {
+      Req h;
+    } req;  ///< kStartWrite/kStartRead/kWriteApply/kWriteApplied (node=replica)
+    struct {
+      Req h;
+      SimDuration apply_delay;
+    } ack;  ///< kWriteAck (node=replica)
+    struct {
+      Req h;
+      SimTime sent_at;
+    } serve;  ///< kReadServe (node=replica, flag=data_read)
+    struct {
+      Req h;
+      SimTime sent_at;
+      std::uint64_t key;
+    } served;  ///< kReadServed (node=replica, aux=coordinator, flag=data_read)
+    struct {
+      Req h;
+      SimTime version_ts;
+      std::uint64_t version_seq;
+      SimDuration rtt;
+    } resp;  ///< kReadResponse (node=replica, flag=found, aux=value size)
+    struct {
+      std::uint64_t key;
+      SimTime version_ts;
+      std::uint64_t version_seq;
+    } kv;  ///< kRepairArrive/kRepairApply/kHintDeliver (node=target, aux=size)
+    std::uint64_t raw[4];
+  } u{};
+};
+
+static_assert(sizeof(TypedEvent) == 48, "typed events must stay heap-inline");
+static_assert(std::is_trivially_copyable_v<TypedEvent>);
+static_assert(std::is_trivially_destructible_v<TypedEvent>);
+
+/// One dispatcher per domain, registered on the Simulation. Pure function:
+/// the event carries its own instance pointer.
+using EventDispatchFn = void (*)(const TypedEvent&);
+
+}  // namespace harmony::sim

@@ -6,7 +6,10 @@
 
 namespace harmony::sim {
 
-EventQueue::EventQueue() { heap_.reserve(kChunkSize); }
+EventQueue::EventQueue() {
+  heap_.reserve(kChunkSize);
+  typed_heap_.reserve(kChunkSize);
+}
 
 std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ != kNil) {
@@ -25,89 +28,35 @@ std::uint32_t EventQueue::acquire_slot() {
 void EventQueue::release_slot(std::uint32_t s) {
   Slot& sl = slot(s);
   sl.fn.reset();
-  ++sl.generation;  // invalidates handles and heap tombstones for this slot
+  ++sl.generation;  // invalidates outstanding handles for this slot
   sl.next_free = free_head_;
   free_head_ = s;
-}
-
-// The pending set is a 4-ary min-heap on (when, seq): half the sift depth of
-// a binary heap, and a node's four children sit in adjacent memory, so the
-// per-level cache miss that dominates pop cost covers all of them at once.
-// (when, seq) is a strict total order, so every pop removes *the* unique
-// minimum — pop order, and with it whole-simulation determinism, is identical
-// to the binary heap this replaces.
-
-void EventQueue::sift_up(std::size_t i) const {
-  const HeapEntry e = heap_[i];
-  while (i > 0) {
-    const std::size_t parent = (i - 1) >> 2;
-    if (!earlier(e, heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
-  }
-  heap_[i] = e;
-}
-
-void EventQueue::sift_down(std::size_t i) const {
-  const std::size_t n = heap_.size();
-  const HeapEntry e = heap_[i];
-  while (true) {
-    const std::size_t first = (i << 2) + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    if (first + 4 <= n) {
-      // Full node (the common case): fixed three-compare tournament the
-      // compiler can unroll, over four entries sharing adjacent cache lines.
-      if (earlier(heap_[first + 1], heap_[best])) best = first + 1;
-      if (earlier(heap_[first + 2], heap_[best])) best = first + 2;
-      if (earlier(heap_[first + 3], heap_[best])) best = first + 3;
-    } else {
-      for (std::size_t c = first + 1; c < n; ++c) {
-        if (earlier(heap_[c], heap_[best])) best = c;
-      }
-    }
-    if (!earlier(heap_[best], e)) break;
-    heap_[i] = heap_[best];
-    i = best;
-  }
-  heap_[i] = e;
-}
-
-void EventQueue::pop_top() const {
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    heap_[0] = last;
-    sift_down(0);
-  }
 }
 
 EventHandle EventQueue::push(SimTime when, EventFn fn) {
   const std::uint32_t s = acquire_slot();
   Slot& sl = slot(s);
   sl.fn = std::move(fn);
-  heap_.push_back(HeapEntry{when, next_seq_++, s, sl.generation});
-  sift_up(heap_.size() - 1);
+  const std::size_t i = heap_.size();
+  heap_.push_back(HeapEntry{when, next_seq_++, s});
+  sl.heap_pos = static_cast<std::uint32_t>(i);
+  // Most scheduled events land behind their parent (delays accumulate), so
+  // test once before paying sift_up's read-modify-write of the new entry.
+  if (i > 0 && earlier(heap_[i], heap_[(i - 1) >> 2])) heap_sift_up(heap_, i);
   return EventHandle{this, s, sl.generation};
-}
-
-void EventQueue::drop_dead() const {
-  while (!heap_.empty() &&
-         slot(heap_.front().slot).generation != heap_.front().generation) {
-    pop_top();
-  }
 }
 
 void EventQueue::take_top(SimTime& when, EventFn& fn) {
   const HeapEntry top = heap_.front();
-  pop_top();
+  heap_pop_top(heap_);
   when = top.when;
   fn = std::move(slot(top.slot).fn);
   release_slot(top.slot);
 }
 
 bool EventQueue::pop(SimTime& when, EventFn& fn) {
-  drop_dead();
+  HARMONY_CHECK_MSG(typed_heap_.empty(),
+                    "pop() is closure-lane only; use run_before");
   if (heap_.empty()) return false;
   take_top(when, fn);
   return true;
@@ -115,22 +64,23 @@ bool EventQueue::pop(SimTime& when, EventFn& fn) {
 
 EventQueue::PopResult EventQueue::pop_before(SimTime horizon, SimTime& when,
                                              EventFn& fn) {
-  drop_dead();
+  HARMONY_CHECK_MSG(typed_heap_.empty(),
+                    "pop_before() is closure-lane only; use run_before");
   if (heap_.empty()) return PopResult::kEmpty;
   if (heap_.front().when > horizon) return PopResult::kLater;
   take_top(when, fn);
   return PopResult::kEvent;
 }
 
-bool EventQueue::empty() const {
-  drop_dead();
-  return heap_.empty();
-}
+bool EventQueue::empty() const { return heap_.empty() && typed_heap_.empty(); }
 
 SimTime EventQueue::next_time() const {
-  drop_dead();
-  HARMONY_CHECK(!heap_.empty());
-  return heap_.front().when;
+  if (heap_.empty()) {
+    HARMONY_CHECK(!typed_heap_.empty());
+    return typed_heap_.front().when;
+  }
+  if (typed_heap_.empty()) return heap_.front().when;
+  return std::min(heap_.front().when, typed_heap_.front().when);
 }
 
 }  // namespace harmony::sim

@@ -2,26 +2,26 @@
 
 namespace harmony::sim {
 
+EventQueue::PopResult Simulation::run_one(SimTime horizon) {
+  return queue_.run_before(
+      horizon,
+      [this](SimTime when) {
+        HARMONY_CHECK_MSG(when >= now_, "event queue went backwards");
+        now_ = when;
+        ++events_processed_;
+      },
+      [this](const TypedEvent& ev) { dispatch(ev); });
+}
+
 bool Simulation::step() {
-  SimTime when = 0;
-  EventFn fn;
-  if (!queue_.pop(when, fn)) return false;
-  HARMONY_CHECK_MSG(when >= now_, "event queue went backwards");
-  now_ = when;
-  ++events_processed_;
-  fn();
-  return true;
+  return run_one(std::numeric_limits<SimTime>::max()) ==
+         EventQueue::PopResult::kEvent;
 }
 
 void Simulation::run_until(SimTime horizon) {
   stopping_ = false;
-  const auto advance_clock = [this](SimTime when) {
-    HARMONY_CHECK_MSG(when >= now_, "event queue went backwards");
-    now_ = when;
-    ++events_processed_;
-  };
   while (!stopping_) {
-    switch (queue_.run_before(horizon, advance_clock)) {
+    switch (run_one(horizon)) {
       case EventQueue::PopResult::kEmpty:
         return;
       case EventQueue::PopResult::kLater:

@@ -38,6 +38,36 @@ class Simulation {
     return queue_.push(t, std::move(fn));
   }
 
+  // ---- typed hot lane ------------------------------------------------------
+  // Fixed-shape POD events dispatched through the domain's registered
+  // EventDispatchFn (see sim/event.h). Non-cancellable, so no handle. With
+  // the typed lane disabled (set_typed_lane(false)) the same event rides the
+  // closure lane wrapped in a capture that calls the identical dispatcher —
+  // the diff harness and BM_TypedVsErasedDispatch compare the two lanes.
+
+  /// Schedule a typed event at now()+delay (delay < 0 is clamped to 0).
+  void schedule_event(SimDuration delay, const TypedEvent& ev) {
+    if (delay < 0) delay = 0;
+    push_event(now_ + delay, ev);
+  }
+
+  /// Schedule a typed event at absolute time t (>= now()).
+  void schedule_event_at(SimTime t, const TypedEvent& ev) {
+    HARMONY_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    push_event(t, ev);
+  }
+
+  /// Register the dispatcher for one event domain (idempotent; subsystems
+  /// re-register freely — all instances of a domain share one function).
+  void set_event_dispatcher(EventDomain domain, EventDispatchFn fn) {
+    dispatchers_[static_cast<std::size_t>(domain)] = fn;
+  }
+
+  /// Route schedule_event through the closure lane instead (differential
+  /// testing / benchmarking; behavior is bit-identical either way).
+  void set_typed_lane(bool enabled) { typed_lane_ = enabled; }
+  bool typed_lane() const { return typed_lane_; }
+
   /// Run one event; returns false if the queue was empty.
   bool step();
 
@@ -55,16 +85,40 @@ class Simulation {
   bool idle() const { return queue_.empty(); }
 
  private:
+  void push_event(SimTime when, const TypedEvent& ev) {
+    if (typed_lane_) {
+      queue_.push_typed(when, ev);
+    } else {
+      queue_.push(when, [this, ev] { dispatch(ev); });
+    }
+  }
+
+  void dispatch(const TypedEvent& ev) {
+    const EventDispatchFn fn = dispatchers_[event_domain_index(ev.kind)];
+    HARMONY_CHECK_MSG(fn != nullptr,
+                      "typed event fired with no dispatcher for its domain");
+    fn(ev);
+  }
+
+  /// Pop+run the earliest event at or before `horizon` (both lanes).
+  EventQueue::PopResult run_one(SimTime horizon);
+
   SimTime now_ = 0;
   EventQueue queue_;
   Rng master_rng_;
   std::uint64_t seed_;
   std::uint64_t events_processed_ = 0;
   bool stopping_ = false;
+  bool typed_lane_ = true;
+  EventDispatchFn dispatchers_[kEventDomains] = {};
 };
 
 /// Repeating timer helper: schedules fn every `period` until cancelled or the
-/// owner Simulation drains. fn sees the tick time via sim.now().
+/// owner Simulation drains. fn sees the tick time via sim.now(). stop() and
+/// start() are safe from inside the callback itself: each tick runs a
+/// moved-out copy of the callable (so start() may replace fn_ mid-tick) and
+/// carries its start()-epoch (so a restart orphans the old cadence instead
+/// of double-arming).
 class PeriodicTimer {
  public:
   PeriodicTimer() = default;
@@ -75,6 +129,7 @@ class PeriodicTimer {
     sim_ = &simulation;
     period_ = period;
     fn_ = std::move(fn);
+    ++epoch_;
     arm();
   }
 
@@ -87,15 +142,22 @@ class PeriodicTimer {
 
  private:
   void arm() {
-    handle_ = sim_->schedule(period_, [this] {
-      if (sim_ == nullptr) return;
-      fn_();
-      if (sim_ != nullptr) arm();  // fn_ may have called stop()
-    });
+    handle_ = sim_->schedule(period_, [this, epoch = epoch_] { fire(epoch); });
+  }
+
+  void fire(std::uint64_t epoch) {
+    if (sim_ == nullptr || epoch != epoch_) return;
+    EventFn fn = std::move(fn_);  // this tick owns the callable while it runs
+    fn();
+    if (sim_ != nullptr && epoch == epoch_) {  // neither stopped nor restarted
+      fn_ = std::move(fn);
+      arm();
+    }
   }
 
   Simulation* sim_ = nullptr;
   SimDuration period_ = 0;
+  std::uint64_t epoch_ = 0;
   EventFn fn_;
   EventHandle handle_;
 };

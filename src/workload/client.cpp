@@ -11,9 +11,26 @@ Client::Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s,
     : env_(&env), home_(home_dc), target_rate_(target_rate_per_s),
       rng_(std::move(rng)) {}
 
+namespace {
+sim::TypedEvent issue_event(Client* client) {
+  sim::TypedEvent e;
+  e.kind = sim::EventKind::kClientIssue;
+  e.target = client;
+  return e;
+}
+}  // namespace
+
+void Client::dispatch_event(const sim::TypedEvent& ev) {
+  HARMONY_CHECK_MSG(ev.kind == sim::EventKind::kClientIssue,
+                    "unknown workload event kind");
+  static_cast<Client*>(ev.target)->issue_next();
+}
+
 void Client::start() {
+  env_->simulation().set_event_dispatcher(sim::EventDomain::kWorkload,
+                                          &Client::dispatch_event);
   const auto stagger = static_cast<SimDuration>(rng_.exponential(500.0));
-  env_->simulation().schedule(stagger, [this] { issue_next(); });
+  env_->simulation().schedule_event(stagger, issue_event(this));
 }
 
 void Client::schedule_next() {
@@ -24,7 +41,7 @@ void Client::schedule_next() {
     const auto gap = static_cast<SimDuration>(rng_.exponential(1e6 / target_rate_));
     next = std::max(next, last_issue_ + gap);
   }
-  env_->simulation().schedule_at(next, [this] { issue_next(); });
+  env_->simulation().schedule_event_at(next, issue_event(this));
 }
 
 void Client::issue_next() {

@@ -54,6 +54,10 @@ class Client {
   net::DcId home_dc() const { return home_; }
   std::uint64_t ops_issued() const { return issued_; }
 
+  /// Typed-lane dispatcher for the workload event domain (`ev.target` names
+  /// the Client instance). Registered on the Simulation by start().
+  static void dispatch_event(const sim::TypedEvent& ev);
+
  private:
   void issue_next();
   void schedule_next();

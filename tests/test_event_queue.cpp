@@ -188,6 +188,138 @@ TEST(EventQueue, DeterministicUnderScheduleCancelChurn) {
   EXPECT_TRUE(c.first != a.first || c.second != a.second);
 }
 
+// ---- typed hot lane ---------------------------------------------------------
+
+/// Test dispatcher for the user event domain: appends `aux` to the vector
+/// named by `target`.
+void record_probe(const TypedEvent& ev) {
+  static_cast<std::vector<std::uint32_t>*>(ev.target)
+      ->push_back(ev.aux);
+}
+
+TypedEvent probe(std::vector<std::uint32_t>* sink, std::uint32_t tag) {
+  TypedEvent ev;
+  ev.kind = EventKind::kUserProbe;
+  ev.target = sink;
+  ev.aux = tag;
+  return ev;
+}
+
+TEST(TypedLane, InterleavesWithClosuresInScheduleOrder) {
+  // Same instant, alternating lanes: the shared (time, seq) order must run
+  // events exactly in schedule order, regardless of which lane each rode.
+  Simulation sim;
+  sim.set_event_dispatcher(EventDomain::kUser, &record_probe);
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    if (i % 2 == 0) {
+      sim.schedule_event(50, probe(&order, i));
+    } else {
+      sim.schedule(50, [&order, i] { order.push_back(i); });
+    }
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(TypedLane, ErasedFallbackRunsTheIdenticalSequence) {
+  // set_typed_lane(false) wraps every typed event in a closure calling the
+  // same dispatcher; order, counts, and times must be unchanged.
+  auto run = [](bool typed) {
+    Simulation sim(7);
+    sim.set_typed_lane(typed);
+    sim.set_event_dispatcher(EventDomain::kUser, &record_probe);
+    std::vector<std::uint32_t> order;
+    Rng rng(3);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      const auto delay = static_cast<SimDuration>(rng.uniform_u64(40));
+      if (rng.chance(0.5)) {
+        sim.schedule_event(delay, probe(&order, i));
+      } else {
+        sim.schedule(delay, [&order, i] { order.push_back(i); });
+      }
+    }
+    sim.run();
+    return std::make_pair(order, sim.now());
+  };
+  const auto typed = run(true);
+  const auto erased = run(false);
+  EXPECT_EQ(typed.first, erased.first);
+  EXPECT_EQ(typed.second, erased.second);
+}
+
+TEST(TypedLane, ReentrantDispatchCanSchedule) {
+  // A dispatcher that schedules follow-up events mid-pop (the request path's
+  // normal shape: every hop schedules the next) must not invalidate the
+  // entry being dispatched.
+  struct Chain {
+    Simulation* sim = nullptr;
+    int hops = 0;
+  } chain;
+  Simulation sim;
+  chain.sim = &sim;
+  sim.set_event_dispatcher(EventDomain::kUser, [](const TypedEvent& ev) {
+    Chain* c = static_cast<Chain*>(ev.target);
+    if (++c->hops < 64) {
+      TypedEvent next;
+      next.kind = EventKind::kUserProbe;
+      next.target = c;
+      c->sim->schedule_event(static_cast<SimDuration>(c->hops % 7), next);
+    }
+  });
+  TypedEvent first;
+  first.kind = EventKind::kUserProbe;
+  first.target = &chain;
+  sim.schedule_event(1, first);
+  sim.run();
+  EXPECT_EQ(chain.hops, 64);
+  EXPECT_EQ(sim.events_processed(), 64u);
+}
+
+TEST(TypedLane, SteadyStateScheduleDispatchIsAllocationFree) {
+  Simulation sim;
+  sim.set_event_dispatcher(EventDomain::kUser, &record_probe);
+  std::vector<std::uint32_t> sink;
+  sink.reserve(1 << 20);
+  for (int i = 0; i < 4096; ++i) {
+    sim.schedule_event(i % 101, probe(&sink, 1));
+  }
+  sim.run();
+
+  const harmony::testing::AllocGuard guard;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_event(i % 13, probe(&sink, 2));
+    }
+    sim.run();
+  }
+  EXPECT_EQ(guard.allocations(), 0u) << "typed schedule+dispatch allocated";
+  EXPECT_GT(sink.size(), 4096u);
+}
+
+TEST(TypedLane, FiringWithoutDispatcherThrows) {
+  Simulation sim;
+  std::vector<std::uint32_t> sink;
+  sim.schedule_event(1, probe(&sink, 1));
+  EXPECT_THROW(sim.run(), CheckError);
+}
+
+TEST(TypedLane, CancelStaysEagerOnClosureLane) {
+  // Cancelling a closure event removes its heap entry immediately: the queue
+  // reports empty without waiting for the dead entry's expiry to pop.
+  Simulation sim;
+  bool ran = false;
+  auto h = sim.schedule(1'000'000, [&ran] { ran = true; });
+  EXPECT_FALSE(sim.idle());
+  h.cancel();
+  EXPECT_TRUE(sim.idle());  // eager removal, no tombstone left behind
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
 TEST(EventQueue, PopBeforeHonorsHorizon) {
   EventQueue q;
   int ran = 0;

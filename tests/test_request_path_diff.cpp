@@ -15,7 +15,9 @@
 //   * full cluster runs — real traffic with kill/revive, hinted handoff,
 //     request timeouts, and write storms, mirrored through the oracle's trace
 //     sink into the reference oracle, with run fingerprints asserted
-//     bit-identical across repeat runs of the same seed.
+//     bit-identical across repeat runs of the same seed — and replayed once
+//     more through the erased (closure-wrapped) event lane, diffing the
+//     typed hot-lane kernel against the PR 4 dispatch mechanism bit for bit.
 //
 // Every judgement, percentile, and fingerprint must match exactly — a single
 // divergence fails the suite with the offending seed, which reproduces the
@@ -385,9 +387,14 @@ struct ClusterRunResult {
   SimTime end_time = 0;
 };
 
-ClusterRunResult run_cluster_schedule(std::uint64_t seed) {
+ClusterRunResult run_cluster_schedule(std::uint64_t seed,
+                                      bool typed_lane = true) {
   Rng setup(seed);
   sim::Simulation sim(seed);
+  // typed_lane=false replays the identical schedule through the erased
+  // (closure-wrapped) dispatch lane — the PR 4 mechanism — so the two-lane
+  // kernel is diffed end to end on real cluster traffic.
+  sim.set_typed_lane(typed_lane);
 
   cluster::ClusterConfig cfg;
   cfg.dc_count = 1 + setup.uniform_u64(2);
@@ -530,6 +537,35 @@ TEST(RequestPathDiff, ClusterTrafficMatchesReferenceAndIsDeterministic) {
   run_block(0xC10C0ULL, kClusterRuns);
   for (const auto seed : extra_seeds()) run_block(seed, 4);
   std::printf("[diff] cluster schedules: %llu\n",
+              (unsigned long long)schedules);
+}
+
+TEST(RequestPathDiff, TypedLaneMatchesErasedLaneByteIdentical) {
+  // The same cluster schedules, replayed once through the typed hot lane
+  // (POD events inline in the heap, switch dispatch) and once through the
+  // erased fallback (the identical events wrapped in closures, the PR 4
+  // mechanism). Both lanes share one (time, seq) order, so every run
+  // fingerprint, event count, and end time must match bit for bit.
+  std::uint64_t schedules = 0;
+  auto run_block = [&](std::uint64_t base, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t seed = base + i;
+      const ClusterRunResult typed = run_cluster_schedule(seed, true);
+      ASSERT_FALSE(::testing::Test::HasFailure())
+          << "typed-lane cluster diff diverged at seed " << seed;
+      const ClusterRunResult erased = run_cluster_schedule(seed, false);
+      ASSERT_FALSE(::testing::Test::HasFailure())
+          << "erased-lane cluster diff diverged at seed " << seed;
+      ASSERT_EQ(typed.fingerprint, erased.fingerprint)
+          << "typed vs erased lane diverged, seed " << seed;
+      ASSERT_EQ(typed.events, erased.events) << "seed " << seed;
+      ASSERT_EQ(typed.end_time, erased.end_time) << "seed " << seed;
+      ++schedules;
+    }
+  };
+  run_block(0xC10C0ULL, kClusterRuns);
+  for (const auto seed : extra_seeds()) run_block(seed, 4);
+  std::printf("[diff] typed-vs-erased cluster schedules: %llu\n",
               (unsigned long long)schedules);
 }
 

@@ -140,6 +140,81 @@ TEST(PeriodicTimer, StopPreventsFurtherFires) {
   EXPECT_EQ(fires, 3);
 }
 
+TEST(PeriodicTimer, StopFromInsideCallbackStopsCleanly) {
+  // The callback runs inside the timer's own event; stop() from there must
+  // not re-arm, must not crash, and must leave the timer restartable-idle.
+  Simulation sim;
+  PeriodicTimer timer;
+  int fires = 0;
+  timer.start(sim, 50, [&] {
+    ++fires;
+    if (fires == 2) timer.stop();
+  });
+  sim.run();
+  EXPECT_EQ(fires, 2);
+  EXPECT_FALSE(timer.running());
+  EXPECT_TRUE(sim.idle());  // no orphaned tick left queued
+}
+
+TEST(PeriodicTimer, RestartAfterStop) {
+  // A stopped timer must accept a fresh start (with a different period and
+  // callback) and tick on the new cadence only.
+  Simulation sim;
+  PeriodicTimer timer;
+  std::vector<SimTime> first, second;
+  timer.start(sim, 10, [&] {
+    first.push_back(sim.now());
+    if (first.size() == 2) timer.stop();
+  });
+  sim.run();
+  ASSERT_EQ(first, (std::vector<SimTime>{10, 20}));
+  EXPECT_FALSE(timer.running());
+
+  timer.start(sim, 25, [&] {
+    second.push_back(sim.now());
+    if (second.size() == 3) timer.stop();
+  });
+  EXPECT_TRUE(timer.running());
+  sim.run();
+  EXPECT_EQ(second, (std::vector<SimTime>{45, 70, 95}));
+  EXPECT_TRUE(first.size() == 2);  // old callback never fired again
+}
+
+TEST(PeriodicTimer, StopWhilePendingCancelsTheArmedTick) {
+  // stop() before the first tick fires must cancel the armed event outright:
+  // the queue drains with zero fires instead of running a dead tick.
+  Simulation sim;
+  PeriodicTimer timer;
+  int fires = 0;
+  timer.start(sim, 100, [&] { ++fires; });
+  EXPECT_TRUE(timer.running());
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  EXPECT_TRUE(sim.idle());  // armed tick cancelled, not left to no-op
+  sim.run();
+  EXPECT_EQ(fires, 0);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(PeriodicTimer, RestartFromInsideCallbackReplacesCadence) {
+  // start() from inside the callback (self-reprogramming timers) must cancel
+  // the old cadence before arming the new one.
+  Simulation sim;
+  PeriodicTimer timer;
+  std::vector<SimTime> fires;
+  timer.start(sim, 10, [&] {
+    fires.push_back(sim.now());
+    if (fires.size() == 1) {
+      timer.start(sim, 40, [&] {
+        fires.push_back(sim.now());
+        if (fires.size() >= 3) timer.stop();
+      });
+    }
+  });
+  sim.run();
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 50, 90}));
+}
+
 TEST(EventQueue, TombstonesDoNotLeakIntoPop) {
   EventQueue q;
   auto h1 = q.push(10, [] {});
