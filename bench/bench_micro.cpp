@@ -3,6 +3,8 @@
 // simulated operations per real second a bench binary can push.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "cluster/cluster.h"
 #include "cluster/token_ring.h"
 #include "common/distributions.h"

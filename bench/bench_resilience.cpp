@@ -1,0 +1,315 @@
+// Resilience scenarios — the cost / staleness / tail-latency frontier under
+// injected faults.
+//
+// Three deterministic fault scenarios, each a multi-seed sweep grid:
+//
+//   1. Slow replica (Cassandra's rapid-read-protection case): one node's
+//      links degrade 10x for a window mid-run. Hedged reads must cut the
+//      read p99 by >= 30% while sending < 5% extra replica reads — the
+//      speculative-retry bargain Dean & Barroso's tail-at-scale paper and
+//      Cassandra's speculative_retry default both strike.
+//   2. Whole-DC blackout with client failover: a DC goes dark and restores;
+//      clients re-route to the surviving DC and coordinator retries re-aim
+//      in-flight reads. Zero client requests may be lost: every issued op
+//      must come back served, shed, or failed — and be accounted.
+//   3. Overload with admission control off / shed / delay: closed-loop
+//      demand beyond the configured admission rate. Shedding trades errors
+//      for bounded latency; delay mode queues the burst instead.
+//
+// Every knob rides RunConfig, so each scenario cell is an ordinary
+// SweepRunner grid cell: multi-seed, parallel, byte-identical output for any
+// --jobs value.
+#include "bench_common.h"
+
+#include "core/static_policy.h"
+
+namespace {
+
+using harmony::bench::fmt;
+
+double p99_us(const harmony::workload::SweepStats& s) {
+  return static_cast<double>(s.read_latency.p99());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace harmony;
+  const auto args = bench::BenchArgs::parse(argc, argv, 40'000);
+  bool all_pass = true;
+
+  // ------------------------------------------------------------------------
+  // Scenario 1: slow replica, hedge off vs on.
+  // ------------------------------------------------------------------------
+  {
+    // App tier homed in DC 0, replicas 2+2 across two AZ-linked DCs;
+    // QUORUM=3 contacts both local replicas plus one remote. When the
+    // remote contact is the degraded node, only a hedge to the *other*
+    // remote replica can save the read — the coordinator is always healthy
+    // (clients never route to DC 1), so every slow read is rescuable.
+    // The degrade window scales with --ops to stay ~20% of the run (closed
+    // loop at ~1000 ops/s: 6 clients, ~5.4ms quorum reads with one AZ hop).
+    const SimDuration span_est = args.ops * 975 * kMicrosecond;
+    const SimDuration win_start = static_cast<SimDuration>(span_est * 0.32);
+    const SimDuration win_end = static_cast<SimDuration>(span_est * 0.52);
+    auto base = [&] {
+      workload::RunConfig cfg;
+      cfg.cluster.node_count = 10;
+      cfg.cluster.dc_count = 2;
+      cfg.cluster.rf = 4;  // NTS 2 + 2
+      cfg.cluster.latency = net::TieredLatencyModel::ec2_two_az();
+      cfg.workload = workload::WorkloadSpec::ycsb_b();
+      cfg.workload.op_count = args.ops;
+      cfg.workload.record_count = 400;
+      cfg.workload.clients_per_dc = 6;
+      cfg.workload.client_dc = 0;
+      cfg.warmup = 500 * kMillisecond;
+      cfg.seed = args.seed;
+      cfg.policy = core::static_level(cluster::Level::kQuorum);
+      cfg.fault_schedule.push_back(
+          {win_start, cluster::FaultOp::kDegradeNode, 7, 0, 10.0});
+      cfg.fault_schedule.push_back(
+          {win_end, cluster::FaultOp::kRestoreNode, 7, 0, 1.0});
+      return cfg;
+    };
+
+    bench::print_header(
+        "Resilience 1/3: slow replica vs hedged reads",
+        "10 nodes / 2 DCs (AZ link), rf=4 (2+2), clients in DC 0 only, "
+        "CL=QUORUM, YCSB-B, " +
+            std::to_string(args.ops) +
+            " ops; remote node 7 links 10x slower for ~20% of the run; " +
+            args.seeds_note());
+
+    workload::SweepRunner sweep(args.sweep_options());
+    {
+      auto cfg = base();
+      cfg.label = "hedge off";
+      sweep.add(cfg);
+    }
+    {
+      auto cfg = base();
+      cfg.label = "hedge on (p98)";
+      cfg.cluster.resilience.hedge_reads = true;
+      cfg.cluster.resilience.hedge_quantile = 0.98;
+      sweep.add(cfg);
+    }
+    const auto stats = sweep.run();
+
+    TextTable table({"variant", "read p50", "read p99", "stale", "throughput",
+                     "hedges", "hedge wins", "timeouts", "bill"});
+    for (const auto& s : stats) {
+      table.add_row(
+          {s.label, format_duration(s.read_latency.median()),
+           format_duration(s.read_latency.p99()), bench::ci_pct(s.stale_fraction),
+           bench::ci_num(s.throughput) + " ops/s",
+           bench::ci_num(s.over([](const workload::RunResult& r) {
+             return static_cast<double>(r.hedges_fired);
+           })),
+           bench::ci_num(s.over([](const workload::RunResult& r) {
+             return static_cast<double>(r.hedge_wins);
+           })),
+           bench::ci_num(s.over([](const workload::RunResult& r) {
+             return static_cast<double>(r.timeouts);
+           })),
+           bench::ci_money(s.bill_total)});
+    }
+    bench::print_table(table, args.csv);
+
+    const double off_p99 = p99_us(stats[0]);
+    const double on_p99 = p99_us(stats[1]);
+    const double reduction =
+        off_p99 > 0 ? (off_p99 - on_p99) / off_p99 * 100.0 : 0.0;
+    // Extra replica-read cost: hedge legs as a fraction of the replica reads
+    // a QUORUM=3 contact set issues anyway.
+    const auto hedges = stats[1].over([](const workload::RunResult& r) {
+      return static_cast<double>(r.hedges_fired);
+    });
+    const auto reads = stats[1].over([](const workload::RunResult& r) {
+      return static_cast<double>(r.reads);
+    });
+    const double extra_pct =
+        reads.mean > 0 ? hedges.mean / (3.0 * reads.mean) * 100.0 : 0.0;
+    const bool pass = reduction >= 30.0 && extra_pct < 5.0;
+    all_pass = all_pass && pass;
+    std::printf(
+        "\nhedging: read p99 %s -> %s (-%.0f%%), extra replica reads %.1f%%\n"
+        "%s: p99 reduction >= 30%% at < 5%% extra replica-read cost\n\n",
+        format_duration(static_cast<SimDuration>(off_p99)).c_str(),
+        format_duration(static_cast<SimDuration>(on_p99)).c_str(), reduction,
+        extra_pct, pass ? "PASS" : "FAIL");
+  }
+
+  // ------------------------------------------------------------------------
+  // Scenario 2: whole-DC blackout with client failover.
+  // ------------------------------------------------------------------------
+  {
+    auto base = [&] {
+      workload::RunConfig cfg;
+      cfg.cluster.node_count = 10;
+      cfg.cluster.dc_count = 2;
+      cfg.cluster.rf = 4;  // NTS: 2 + 2 — the surviving DC can serve alone
+      cfg.cluster.latency = net::TieredLatencyModel::ec2_two_az();
+      cfg.cluster.request_timeout = 100 * kMillisecond;
+      cfg.workload = workload::WorkloadSpec::ycsb_a();
+      cfg.workload.op_count = args.ops;
+      cfg.workload.record_count = 400;
+      cfg.workload.clients_per_dc = 6;
+      cfg.warmup = 0;  // measure everything: the ledger must balance exactly
+      cfg.seed = args.seed;
+      cfg.policy = core::static_level(cluster::Level::kOne);
+      cfg.fault_schedule.push_back(
+          {700 * kMillisecond, cluster::FaultOp::kDcBlackout, 0, 1, 1.0});
+      cfg.fault_schedule.push_back(
+          {1400 * kMillisecond, cluster::FaultOp::kDcRestore, 0, 1, 1.0});
+      return cfg;
+    };
+
+    bench::print_header(
+        "Resilience 2/3: whole-DC blackout and client failover",
+        "10 nodes / 2 DCs (AZ link), rf=4 (2+2), CL=ONE, YCSB-A, " +
+            std::to_string(args.ops) +
+            " ops; DC 1 dark 700ms..1400ms; " + args.seeds_note());
+
+    workload::SweepRunner sweep(args.sweep_options());
+    {
+      auto cfg = base();
+      cfg.label = "no failover";
+      sweep.add(cfg);
+    }
+    {
+      auto cfg = base();
+      cfg.label = "reroute + retry";
+      cfg.workload.reroute_on_dc_outage = true;
+      cfg.cluster.resilience.read_retries = 1;
+      sweep.add(cfg);
+    }
+    const auto stats = sweep.run();
+
+    TextTable table({"variant", "errors", "rerouted", "retries", "timeouts",
+                     "read p99", "cross-DC GB", "throughput"});
+    auto count_of = [](const workload::SweepStats& s, auto pick) {
+      return s.over([pick](const workload::RunResult& r) {
+        return static_cast<double>(pick(r));
+      });
+    };
+    for (const auto& s : stats) {
+      table.add_row(
+          {s.label,
+           bench::ci_num(count_of(s, [](const auto& r) { return r.errors; })),
+           bench::ci_num(
+               count_of(s, [](const auto& r) { return r.rerouted_ops; })),
+           bench::ci_num(count_of(s, [](const auto& r) { return r.retries; })),
+           bench::ci_num(count_of(s, [](const auto& r) { return r.timeouts; })),
+           format_duration(s.read_latency.p99()),
+           fmt("%.3f", count_of(s, [](const auto& r) {
+                         return r.usage.cross_dc_gb;
+                       }).mean),
+           bench::ci_num(s.throughput) + " ops/s"});
+    }
+    bench::print_table(table, args.csv);
+
+    // Zero-lost check, per seed: every issued op completed (served or
+    // failed), none vanished with the blacked-out DC.
+    bool accounted = true;
+    for (const auto& r : stats[1].runs) {
+      if (r.reads + r.writes != args.ops) accounted = false;
+    }
+    const auto rerouted =
+        count_of(stats[1], [](const auto& r) { return r.rerouted_ops; });
+    const auto err_off =
+        count_of(stats[0], [](const auto& r) { return r.errors; });
+    const auto err_on =
+        count_of(stats[1], [](const auto& r) { return r.errors; });
+    const bool pass = accounted && rerouted.mean > 0;
+    all_pass = all_pass && pass;
+    std::printf(
+        "\nfailover: every op accounted: %s; %.0f ops re-routed; errors "
+        "%.0f -> %.0f\n%s: DC failover completes with zero lost client "
+        "requests\n\n",
+        accounted ? "yes" : "NO", rerouted.mean, err_off.mean, err_on.mean,
+        pass ? "PASS" : "FAIL");
+  }
+
+  // ------------------------------------------------------------------------
+  // Scenario 3: overload vs admission control (off / shed / delay).
+  // ------------------------------------------------------------------------
+  {
+    auto base = [&] {
+      workload::RunConfig cfg;
+      cfg.cluster.node_count = 8;
+      cfg.cluster.dc_count = 2;
+      cfg.cluster.rf = 3;
+      cfg.workload = workload::WorkloadSpec::ycsb_a();
+      cfg.workload.op_count = args.ops;
+      cfg.workload.record_count = 400;
+      cfg.workload.clients_per_dc = 10;  // closed-loop demand >> admitted rate
+      cfg.warmup = 300 * kMillisecond;
+      cfg.seed = args.seed;
+      cfg.policy = core::static_level(cluster::Level::kQuorum);
+      return cfg;
+    };
+
+    bench::print_header(
+        "Resilience 3/3: overload vs admission control",
+        "8 nodes / 2 DCs, rf=3, CL=QUORUM, YCSB-A, 10 clients/DC closed "
+        "loop, " +
+            std::to_string(args.ops) + " ops; bucket 800 req/s per DC; " +
+            args.seeds_note());
+
+    workload::SweepRunner sweep(args.sweep_options());
+    {
+      auto cfg = base();
+      cfg.label = "admission off";
+      sweep.add(cfg);
+    }
+    {
+      auto cfg = base();
+      cfg.label = "shed";
+      cfg.cluster.resilience.admission_rate = 800;
+      cfg.cluster.resilience.admission_burst = 50;
+      cfg.cluster.resilience.admission_mode = cluster::AdmissionMode::kShed;
+      sweep.add(cfg);
+    }
+    {
+      auto cfg = base();
+      cfg.label = "delay";
+      cfg.cluster.resilience.admission_rate = 800;
+      cfg.cluster.resilience.admission_burst = 50;
+      cfg.cluster.resilience.admission_mode = cluster::AdmissionMode::kDelay;
+      cfg.cluster.resilience.admission_max_delay = 20 * kMillisecond;
+      sweep.add(cfg);
+    }
+    const auto stats = sweep.run();
+
+    TextTable table({"variant", "throughput", "read p50", "read p99", "sheds",
+                     "client retries", "errors", "stale", "bill"});
+    for (const auto& s : stats) {
+      table.add_row(
+          {s.label, bench::ci_num(s.throughput) + " ops/s",
+           format_duration(s.read_latency.median()),
+           format_duration(s.read_latency.p99()),
+           bench::ci_num(s.over([](const workload::RunResult& r) {
+             return static_cast<double>(r.sheds);
+           })),
+           bench::ci_num(s.over([](const workload::RunResult& r) {
+             return static_cast<double>(r.client_shed_retries);
+           })),
+           bench::ci_num(s.over([](const workload::RunResult& r) {
+             return static_cast<double>(r.errors);
+           })),
+           bench::ci_pct(s.stale_fraction), bench::ci_money(s.bill_total)});
+    }
+    bench::print_table(table, args.csv);
+
+    const double admitted = stats[1].throughput.mean;
+    std::printf(
+        "\nadmission: closed-loop demand %.0f ops/s -> %.0f ops/s admitted "
+        "(2 DCs x 800 req/s bucket); delay mode queues, shed mode rejects "
+        "with retry-after\n\n",
+        stats[0].throughput.mean, admitted);
+  }
+
+  std::printf("%s\n", all_pass ? "ALL SCENARIOS PASS" : "SCENARIO FAILURES");
+  return all_pass ? 0 : 1;
+}

@@ -88,6 +88,16 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
         sim.fork_rng(0x1000 + static_cast<std::uint64_t>(i))));
   }
   alive_.assign(cfg_.node_count, 1);
+  alive_per_dc_.assign(cfg_.dc_count, 0);
+  for (std::size_t i = 0; i < cfg_.node_count; ++i) {
+    ++alive_per_dc_[topo_.dc_of(static_cast<net::NodeId>(i))];
+  }
+  latency_mult_.assign(cfg_.node_count, 1.0);
+  if (cfg_.resilience.admission_rate > 0) {
+    // Buckets start full so a run's leading edge is not spuriously shed.
+    admission_.assign(cfg_.dc_count,
+                      TokenBucket{cfg_.resilience.admission_burst, 0});
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -155,23 +165,33 @@ net::NodeId Cluster::pick_coordinator(net::DcId dc, Rng& rng) {
   return static_cast<net::NodeId>(c);
 }
 
-SimDuration Cluster::client_link_delay(Rng& rng) {
-  // Clients are homed in a DC; their link to the coordinator is a same-DC hop.
-  const auto& t = latency_.params().same_dc;
+SimDuration Cluster::client_link_delay(Rng& rng, bool cross_dc) {
+  // Clients are homed in a DC; their link to the coordinator is a same-DC hop
+  // — unless the client re-routed to a surviving DC during failover, which
+  // makes the hop a WAN crossing.
+  const auto& t =
+      cross_dc ? latency_.params().cross_dc : latency_.params().same_dc;
   return static_cast<SimDuration>(
       rng.lognormal_median(static_cast<double>(t.base), t.sigma));
 }
 
 SimDuration Cluster::link_delay(net::NodeId src, net::NodeId dst, Rng& rng) {
-  return latency_.sample(topo_, src, dst, rng);
+  SimDuration d = latency_.sample(topo_, src, dst, rng);
+  if (links_degraded_) {
+    double m = latency_mult_[src] * latency_mult_[dst];
+    if (!topo_.same_dc(src, dst)) m *= wan_mult_;
+    if (m != 1.0) d = static_cast<SimDuration>(static_cast<double>(d) * m);
+  }
+  return d;
 }
 
 void Cluster::account(net::NodeId src, net::NodeId dst, std::uint64_t bytes) {
   net_stats_.record(net::classify(topo_, src, dst), bytes);
 }
 
-void Cluster::account_client(std::uint64_t bytes) {
-  net_stats_.record(net::LinkClass::kSameDc, bytes);
+void Cluster::account_client(std::uint64_t bytes, bool cross_dc) {
+  net_stats_.record(cross_dc ? net::LinkClass::kCrossDc : net::LinkClass::kSameDc,
+                    bytes);
 }
 
 ReplicaList Cluster::order_for_read(net::NodeId coord,
@@ -211,7 +231,8 @@ ReplicaList Cluster::order_for_read(net::NodeId coord,
 // ------------------------------------------------------------ write path
 
 void Cluster::client_write(net::DcId client_dc, Key key, std::uint32_t size,
-                           ReplicaRequirement req, WriteCallback cb) {
+                           ReplicaRequirement req, WriteCallback cb,
+                           net::DcId origin_dc) {
   // Acquired slots come back in default state (release resets them), so only
   // the non-default fields need touching.
   const auto [h, w] = pending_writes_.acquire();
@@ -222,10 +243,11 @@ void Cluster::client_write(net::DcId client_dc, Key key, std::uint32_t size,
   w->needed = req.count;
   w->local_only = req.local_only;
   w->each_quorum = req.each_quorum;
+  w->cross_origin = origin_dc != kSameOrigin && origin_dc != client_dc;
   w->cb = std::move(cb);
 
-  account_client(cfg_.message_overhead_bytes + size);
-  const SimDuration d = client_link_delay(rng_);
+  account_client(cfg_.message_overhead_bytes + size, w->cross_origin);
+  const SimDuration d = client_link_delay(rng_, w->cross_origin);
   TypedEvent ev = cluster_event(EventKind::kStartWrite, this);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(d, ev);
@@ -235,6 +257,26 @@ void Cluster::start_write(WriteHandle h) {
   PendingWrite* wp = pending_writes_.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
+
+  // Admission control runs before any coordinator work (or RNG draws).
+  if (cfg_.resilience.admission_rate > 0 && !w.admitted) {
+    const SimDuration wait = admit(w.client_dc);
+    if (wait > 0) {
+      if (cfg_.resilience.admission_mode == AdmissionMode::kDelay &&
+          wait <= cfg_.resilience.admission_max_delay) {
+        // Pre-pay the token (the bucket goes negative, queueing followers
+        // behind this request) and re-enter once it is covered.
+        admission_[w.client_dc].tokens -= 1.0;
+        w.admitted = true;
+        TypedEvent ev = cluster_event(EventKind::kStartWrite, this);
+        ev.u.req.h = {h.slot, h.generation};
+        sim_->schedule_event(wait, ev);
+        return;
+      }
+      write_shed(h, wait);
+      return;
+    }
+  }
 
   w.coord = pick_coordinator(w.client_dc, rng_);
   Node& coord = *nodes_[w.coord];
@@ -271,8 +313,9 @@ void Cluster::start_write(WriteHandle h) {
   }
   if (!feasible) {
     ++unavailable_;
-    const SimDuration back = coord_delay + client_link_delay(rng_);
-    account_client(cfg_.message_overhead_bytes);
+    const SimDuration back =
+        coord_delay + client_link_delay(rng_, w.cross_origin);
+    account_client(cfg_.message_overhead_bytes, w.cross_origin);
     // No timeout is armed yet, so marking the record responded parks it
     // until the typed delivery leg hands the failure to the client.
     w.responded = true;
@@ -405,8 +448,8 @@ void Cluster::finish_write(WriteHandle h, bool ok) {
   w.responded = true;
   w.timeout.cancel();
   if (ok) oracle_.record_commit(w.key, w.value.version, sim_->now());
-  account_client(cfg_.message_overhead_bytes);
-  const SimDuration back = client_link_delay(rng_);
+  account_client(cfg_.message_overhead_bytes, w.cross_origin);
+  const SimDuration back = client_link_delay(rng_, w.cross_origin);
   // The callback and result stay in the record (responded is set, so nothing
   // fires them again); the typed delivery leg hands them to the client and
   // releases the record — or write_ack's lifecycle bookkeeping does, when
@@ -417,13 +460,35 @@ void Cluster::finish_write(WriteHandle h, bool ok) {
   sim_->schedule_event(back, ev);
 }
 
+// Admission rejection: park the record (no timeout is armed yet) and hand
+// the shed result back over the client link. Sheds are not `unavailable_` —
+// the replica set could serve, the coordinator chose not to ask it.
+void Cluster::write_shed(WriteHandle h, SimDuration retry_after) {
+  PendingWrite* wp = pending_writes_.get(h);
+  if (wp == nullptr) return;
+  PendingWrite& w = *wp;
+  ++sheds_;
+  account_client(cfg_.message_overhead_bytes, w.cross_origin);
+  const SimDuration back = client_link_delay(rng_, w.cross_origin);
+  w.responded = true;
+  w.deliver_ok = false;
+  w.deliver_shed = true;
+  w.deliver_retry_after = retry_after;
+  TypedEvent ev = cluster_event(EventKind::kWriteDeliver, this);
+  ev.u.req.h = {h.slot, h.generation};
+  sim_->schedule_event(back, ev);
+}
+
 void Cluster::write_deliver(WriteHandle h) {
   PendingWrite* wp = pending_writes_.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
   WriteCallback cb = std::move(w.cb);
-  const WriteResult result{w.deliver_ok,
-                           w.deliver_ok ? w.value.version : kNoVersion};
+  WriteResult result;
+  result.ok = w.deliver_ok;
+  result.shed = w.deliver_shed;
+  result.version = w.deliver_ok ? w.value.version : kNoVersion;
+  result.retry_after = w.deliver_retry_after;
   w.delivered = true;
   // Release before invoking: the callback may issue the client's next
   // operation, and the slot must be reusable by then (as it was when the
@@ -435,7 +500,7 @@ void Cluster::write_deliver(WriteHandle h) {
 // ------------------------------------------------------------ read path
 
 void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
-                          ReadCallback cb) {
+                          ReadCallback cb, net::DcId origin_dc) {
   const auto [h, r] = pending_reads_.acquire();
   r->key = key;
   r->start = sim_->now();
@@ -443,6 +508,7 @@ void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
   r->client_dc = client_dc;
   r->needed = req.count;
   r->each_quorum = req.each_quorum;
+  r->cross_origin = origin_dc != kSameOrigin && origin_dc != client_dc;
   r->cb = std::move(cb);
   // local_only reads restrict the contact set; encode via needed_per_dc.
   if (req.local_only) {
@@ -450,8 +516,8 @@ void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
     r->needed_per_dc[client_dc] = req.count;
   }
 
-  account_client(cfg_.message_overhead_bytes);
-  const SimDuration d = client_link_delay(rng_);
+  account_client(cfg_.message_overhead_bytes, r->cross_origin);
+  const SimDuration d = client_link_delay(rng_, r->cross_origin);
   TypedEvent ev = cluster_event(EventKind::kStartRead, this);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(d, ev);
@@ -461,6 +527,24 @@ void Cluster::start_read(ReadHandle h) {
   PendingRead* rp = pending_reads_.get(h);
   if (rp == nullptr) return;
   PendingRead& r = *rp;
+
+  // Admission control runs before any coordinator work (or RNG draws).
+  if (cfg_.resilience.admission_rate > 0 && !r.admitted) {
+    const SimDuration wait = admit(r.client_dc);
+    if (wait > 0) {
+      if (cfg_.resilience.admission_mode == AdmissionMode::kDelay &&
+          wait <= cfg_.resilience.admission_max_delay) {
+        admission_[r.client_dc].tokens -= 1.0;  // pre-pay (see start_write)
+        r.admitted = true;
+        TypedEvent ev = cluster_event(EventKind::kStartRead, this);
+        ev.u.req.h = {h.slot, h.generation};
+        sim_->schedule_event(wait, ev);
+        return;
+      }
+      read_shed(h, wait);
+      return;
+    }
+  }
 
   r.coord = pick_coordinator(r.client_dc, rng_);
   Node& coord = *nodes_[r.coord];
@@ -503,8 +587,9 @@ void Cluster::start_read(ReadHandle h) {
   }
   if (!feasible || r.contacted.empty()) {
     ++unavailable_;
-    account_client(cfg_.message_overhead_bytes);
-    const SimDuration back = coord_delay + client_link_delay(rng_);
+    account_client(cfg_.message_overhead_bytes, r.cross_origin);
+    const SimDuration back =
+        coord_delay + client_link_delay(rng_, r.cross_origin);
     oracle_.end_read(r.start);
     // No timeout armed yet; park the record (responded) until delivery.
     r.responded = true;
@@ -533,12 +618,168 @@ void Cluster::start_read(ReadHandle h) {
     sim_->schedule_event(d, ev);
   }
 
-  r.timeout = sim_->schedule(cfg_.request_timeout, [this, h] {
-    PendingRead* t = pending_reads_.get(h);
-    if (t == nullptr || t->responded) return;
+  r.timeout = sim_->schedule(cfg_.request_timeout,
+                             [this, h] { read_timeout(h); });
+
+  // Hedge/retry legs walk the snitch order skipping contacted hosts, so the
+  // record keeps the ordering start_read computed anyway. each_quorum reads
+  // are excluded: a backup leg in one DC cannot stand in for another DC's
+  // missing quorum member.
+  const ResilienceConfig& rc = cfg_.resilience;
+  if ((rc.hedge_reads || rc.read_retries > 0) && !r.each_quorum) {
+    r.snitch_order = ordered;
+    if (rc.hedge_reads && next_untried_replica(r) >= 0) {
+      r.hedge_timer = sim_->schedule(current_hedge_delay(),
+                                     [this, h] { fire_hedge(h); });
+    }
+  }
+}
+
+// The attempt timeout: with retries left and an untried alive replica, back
+// off and go again instead of failing; `timeouts_` counts only requests that
+// exhaust every attempt (a request rescued later is a retry, not a timeout).
+void Cluster::read_timeout(ReadHandle h) {
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr || rp->responded) return;
+  PendingRead& r = *rp;
+  const ResilienceConfig& rc = cfg_.resilience;
+  if (r.attempts <= rc.read_retries && !r.each_quorum &&
+      next_untried_replica(r) >= 0) {
+    ++retries_;
+    const SimDuration backoff =
+        rc.retry_backoff * (SimDuration{1} << (r.attempts - 1));
+    r.retry_timer = sim_->schedule(backoff, [this, h] { retry_read(h); });
+    return;
+  }
+  ++timeouts_;
+  finish_read(h, false);
+}
+
+void Cluster::retry_read(ReadHandle h) {
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr || rp->responded) return;
+  PendingRead& r = *rp;
+  if (!node_alive(r.coord) || next_untried_replica(r) < 0) {
+    // Every candidate — or the coordinator itself — died during the backoff
+    // window; the request fails as a timeout (a dead coordinator's in-flight
+    // state is gone with it).
     ++timeouts_;
     finish_read(h, false);
-  });
+    return;
+  }
+  ++r.attempts;
+  // Contact as many untried hosts as the requirement still lacks (at least
+  // one); late responses from earlier attempts keep counting too.
+  int want = std::max(1, r.needed - r.responses);
+  while (want > 0) {
+    const int n = next_untried_replica(r);
+    if (n < 0) break;
+    send_read_leg(h, static_cast<net::NodeId>(n));
+    --want;
+  }
+  r.timeout = sim_->schedule(cfg_.request_timeout,
+                             [this, h] { read_timeout(h); });
+}
+
+void Cluster::fire_hedge(ReadHandle h) {
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr || rp->responded) return;
+  PendingRead& r = *rp;
+  // A dead coordinator cannot send a backup leg; the attempt timeout will
+  // sort the request out.
+  if (!node_alive(r.coord)) return;
+  const int cand = next_untried_replica(r);
+  if (cand < 0) return;
+  ++hedges_fired_;
+  r.hedged = true;
+  r.hedge_replica = static_cast<net::NodeId>(cand);
+  send_read_leg(h, r.hedge_replica);
+}
+
+int Cluster::next_untried_replica(const PendingRead& r) const {
+  const bool local_restricted = !r.needed_per_dc.empty() && !r.each_quorum;
+  for (const net::NodeId n : r.snitch_order) {
+    if (!node_alive(n)) continue;
+    if (local_restricted && topo_.dc_of(n) != r.client_dc) continue;
+    if (std::find(r.contacted.begin(), r.contacted.end(), n) !=
+        r.contacted.end()) {
+      continue;
+    }
+    return static_cast<int>(n);
+  }
+  return -1;
+}
+
+// One backup data-read leg (hedge or retry). Data rather than digest: the
+// leg must be able to supply the value if the original data read is the one
+// that is slow or lost.
+void Cluster::send_read_leg(ReadHandle h, net::NodeId replica) {
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr) return;
+  PendingRead& r = *rp;
+  r.contacted.push_back(replica);
+  Node& coord = *nodes_[r.coord];
+  const SimDuration coord_delay =
+      coord.service(ServiceKind::kCoordinate, sim_->now());
+  account(r.coord, replica, cfg_.message_overhead_bytes);
+  const SimDuration d = coord_delay + link_delay(r.coord, replica, rng_);
+  TypedEvent ev = cluster_event(EventKind::kReadServe, this);
+  ev.node = static_cast<std::uint16_t>(replica);
+  ev.flag = 1;
+  ev.u.serve = {{h.slot, h.generation}, sim_->now() + coord_delay};
+  sim_->schedule_event(d, ev);
+}
+
+void Cluster::observe_read_rtt(SimDuration rtt) {
+  hedge_rtt_.record(rtt);
+  const std::uint64_t c = hedge_rtt_.count();
+  // Recompute the cached quantile every 64 samples (and once warm at 32) so
+  // the percentile scan stays off the per-response path.
+  if (c == 32 || (c & 63) == 0) {
+    hedge_delay_cached_ =
+        std::max(cfg_.resilience.hedge_min_delay,
+                 hedge_rtt_.percentile(cfg_.resilience.hedge_quantile * 100.0));
+  }
+}
+
+SimDuration Cluster::current_hedge_delay() const {
+  return hedge_delay_cached_ > 0 ? hedge_delay_cached_
+                                 : cfg_.resilience.hedge_fallback_delay;
+}
+
+SimDuration Cluster::admit(net::DcId dc) {
+  TokenBucket& b = admission_[dc];
+  const ResilienceConfig& rc = cfg_.resilience;
+  const SimTime now = sim_->now();
+  b.tokens = std::min(rc.admission_burst,
+                      b.tokens + static_cast<double>(now - b.last) *
+                                     rc.admission_rate / 1e6);
+  b.last = now;
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return 0;
+  }
+  // Time until the bucket covers one token; doubles as the shed retry-after.
+  const double deficit = 1.0 - b.tokens;
+  return static_cast<SimDuration>(deficit * 1e6 / rc.admission_rate) + 1;
+}
+
+void Cluster::read_shed(ReadHandle h, SimDuration retry_after) {
+  PendingRead* rp = pending_reads_.get(h);
+  if (rp == nullptr) return;
+  PendingRead& r = *rp;
+  ++sheds_;
+  account_client(cfg_.message_overhead_bytes, r.cross_origin);
+  const SimDuration back = client_link_delay(rng_, r.cross_origin);
+  oracle_.end_read(r.start);
+  // No timeout armed yet; park the record (responded) until delivery.
+  r.responded = true;
+  r.result = ReadResult{};
+  r.result.shed = true;
+  r.result.retry_after = retry_after;
+  TypedEvent ev = cluster_event(EventKind::kReadDeliver, this);
+  ev.u.req.h = {h.slot, h.generation};
+  sim_->schedule_event(back, ev);
 }
 
 void Cluster::replica_serve_read(ReadHandle h, net::NodeId replica,
@@ -589,6 +830,9 @@ void Cluster::read_serve_done(ReadHandle h, net::NodeId replica, Key key,
 
 void Cluster::read_response(ReadHandle h, net::NodeId replica, bool found,
                             VersionedValue value, SimDuration rtt) {
+  // Hedge-delay quantile input: every response leg counts, including late
+  // ones — the slow tail is exactly what the quantile must see.
+  if (cfg_.resilience.hedge_reads) observe_read_rtt(rtt);
   PendingRead* rp = pending_reads_.get(h);
   // Records parked for delivery (responded) count as gone, as when the
   // closure-lane delivery released them before this late response arrived.
@@ -623,7 +867,12 @@ void Cluster::read_response(ReadHandle h, net::NodeId replica, bool found,
   } else {
     met = r.responses >= r.needed;
   }
-  if (met) finish_read(h, true);
+  if (met) {
+    // A hedge "wins" when the backup leg is the response that completes the
+    // read — the original slowest leg would have blown the latency budget.
+    if (r.hedged && replica == r.hedge_replica) ++hedge_wins_;
+    finish_read(h, true);
+  }
 }
 
 void Cluster::finish_read(ReadHandle h, bool ok) {
@@ -632,6 +881,8 @@ void Cluster::finish_read(ReadHandle h, bool ok) {
   PendingRead& r = *rp;
   r.responded = true;
   r.timeout.cancel();
+  r.hedge_timer.cancel();
+  r.retry_timer.cancel();
 
   ReadResult result;
   result.ok = ok;
@@ -665,8 +916,9 @@ void Cluster::finish_read(ReadHandle h, bool ok) {
   }
 
   account_client(cfg_.message_overhead_bytes +
-                 (result.found ? result.value_size : 0));
-  const SimDuration back = client_link_delay(rng_);
+                     (result.found ? result.value_size : 0),
+                 r.cross_origin);
+  const SimDuration back = client_link_delay(rng_, r.cross_origin);
   // Judge now rather than at delivery: any commit recorded between here and
   // the client callback is newer than this read's start, so the judgement is
   // the same either way — and ending the read lets the oracle fold history.
@@ -724,8 +976,10 @@ void Cluster::repair_apply(net::NodeId target, Key key,
 
 void Cluster::kill_node(net::NodeId id) {
   HARMONY_CHECK(id < nodes_.size());
+  if (!nodes_[id]->alive()) return;
   nodes_[id]->set_alive(false);
   alive_[id] = 0;
+  --alive_per_dc_[topo_.dc_of(id)];
   invalidate_replica_cache();
 }
 
@@ -734,8 +988,61 @@ void Cluster::revive_node(net::NodeId id) {
   if (nodes_[id]->alive()) return;
   nodes_[id]->set_alive(true);
   alive_[id] = 1;
+  ++alive_per_dc_[topo_.dc_of(id)];
   invalidate_replica_cache();
   replay_hints(id);
+}
+
+void Cluster::kill_dc(net::DcId dc) {
+  for (const net::NodeId n : topo_.nodes_in_dc(dc)) kill_node(n);
+}
+
+void Cluster::revive_dc(net::DcId dc) {
+  for (const net::NodeId n : topo_.nodes_in_dc(dc)) revive_node(n);
+}
+
+void Cluster::schedule_fault(const FaultSpec& f) {
+  TypedEvent ev = cluster_event(EventKind::kFault, this);
+  ev.node = static_cast<std::uint16_t>(f.node);
+  ev.u.fault = {static_cast<std::uint32_t>(f.op),
+                static_cast<std::uint32_t>(f.dc), f.factor};
+  sim_->schedule_event_at(f.at, ev);
+}
+
+void Cluster::apply_fault(FaultOp op, net::NodeId node, net::DcId dc,
+                          double factor) {
+  switch (op) {
+    case FaultOp::kKillNode:    kill_node(node); break;
+    case FaultOp::kReviveNode:  revive_node(node); break;
+    case FaultOp::kDcBlackout:  kill_dc(dc); break;
+    case FaultOp::kDcRestore:   revive_dc(dc); break;
+    case FaultOp::kDegradeNode: set_node_latency_mult(node, factor); break;
+    case FaultOp::kRestoreNode: set_node_latency_mult(node, 1.0); break;
+    case FaultOp::kDegradeWan:
+      wan_mult_ = factor;
+      refresh_links_degraded();
+      break;
+    case FaultOp::kRestoreWan:
+      wan_mult_ = 1.0;
+      refresh_links_degraded();
+      break;
+  }
+}
+
+void Cluster::set_node_latency_mult(net::NodeId node, double factor) {
+  HARMONY_CHECK(node < latency_mult_.size());
+  latency_mult_[node] = factor;
+  refresh_links_degraded();
+}
+
+void Cluster::refresh_links_degraded() {
+  links_degraded_ = wan_mult_ != 1.0;
+  for (const double m : latency_mult_) {
+    if (m != 1.0) {
+      links_degraded_ = true;
+      break;
+    }
+  }
 }
 
 void Cluster::replay_hints(net::NodeId target) {
@@ -869,6 +1176,10 @@ void Cluster::dispatch_event(const sim::TypedEvent& ev) {
       break;
     case EventKind::kAntiEntropySweep:
       c->anti_entropy_sweep();
+      break;
+    case EventKind::kFault:
+      c->apply_fault(static_cast<FaultOp>(ev.u.fault.op), ev.node,
+                     static_cast<net::DcId>(ev.u.fault.dc), ev.u.fault.factor);
       break;
     default:
       HARMONY_CHECK_MSG(false, "unknown cluster event kind");

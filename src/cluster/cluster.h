@@ -12,10 +12,28 @@
 //   * read repair (contacted-set always; whole-replica-set with a configured
 //     chance), hinted handoff for writes to down nodes, request timeouts;
 //   * node service queues, so load inflates propagation delay and staleness.
+//
+// Resilience layer (all knobs default off; the off path is byte-identical to
+// the pre-resilience cluster):
+//   * hedged reads — after a quantile-derived hedge delay the coordinator
+//     issues one backup data read to the next snitch-ranked untried replica
+//     and the first `needed` responses win (Cassandra's rapid read
+//     protection / Envoy's request hedging). Late legs are suppressed by the
+//     existing slot-pool generation checks.
+//   * coordinator read retry — an attempt timeout retries against replicas
+//     excluding every previously-tried host (Envoy's retry host-reselection
+//     predicate), with exponential backoff on the cancellable closure lane.
+//     Writes never retry: a write already fans out to ALL replicas, so the
+//     untried-host set is empty by construction — hinted handoff and read
+//     repair are the write path's resilience mechanisms.
+//   * per-DC token-bucket admission control — requests are shed (with
+//     retry-after) or delayed at the coordinator before any replica work.
+//   * scripted fault injection — FaultSpec actions (node kill/revive,
+//     whole-DC blackout, per-node / WAN latency degradation windows) ride
+//     the typed event lane, so every fault scenario is seed-reproducible.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_set>
 #include <utility>
@@ -27,6 +45,8 @@
 #include "cluster/staleness_oracle.h"
 #include "cluster/token_ring.h"
 #include "cluster/versioned_value.h"
+#include "common/histogram.h"
+#include "common/inline_fn.h"
 #include "common/slot_pool.h"
 #include "net/latency_model.h"
 #include "net/net_stats.h"
@@ -58,6 +78,65 @@ class ClusterObserver {
   }
 };
 
+/// Scripted fault actions. Node-scoped ops name a node, DC-scoped ops a DC;
+/// degradation ops carry a latency multiplier (restore resets it to 1).
+enum class FaultOp : std::uint8_t {
+  kKillNode,     ///< node stops serving (same as kill_node())
+  kReviveNode,   ///< node comes back and replays hints
+  kDcBlackout,   ///< every node in the DC dies at once
+  kDcRestore,    ///< every node in the DC revives
+  kDegradeNode,  ///< all links touching the node get `factor`x latency
+  kRestoreNode,  ///< node link latency back to 1x
+  kDegradeWan,   ///< all cross-DC links get `factor`x latency
+  kRestoreWan,   ///< WAN latency back to 1x
+};
+
+/// One deterministic fault-schedule entry. Rides the typed event lane
+/// (sim::EventKind::kFault), so fault timing interleaves with request traffic
+/// in exact (time, seq) order and every scenario is seed-reproducible.
+struct FaultSpec {
+  SimTime at = 0;
+  FaultOp op = FaultOp::kKillNode;
+  net::NodeId node = 0;  ///< target for node-scoped ops
+  net::DcId dc = 0;      ///< target for DC-scoped ops
+  double factor = 1.0;   ///< latency multiplier for degrade ops
+};
+
+enum class AdmissionMode : std::uint8_t {
+  kShed,   ///< over-rate requests are rejected with retry-after
+  kDelay,  ///< over-rate requests queue (bounded), then shed past the cap
+};
+
+/// Coordinator-side resilience knobs. Everything defaults OFF, and the off
+/// path is byte-identical to the pre-resilience cluster (same RNG draw
+/// sequence, same event schedule).
+struct ResilienceConfig {
+  /// Hedged (speculative) reads: after the hedge delay, send one backup data
+  /// read to the next snitch-ranked untried alive replica. Read-only by
+  /// design — writes already fan out to every replica.
+  bool hedge_reads = false;
+  /// Hedge delay = this quantile of observed replica read RTTs (in [0,1]),
+  /// floored at hedge_min_delay; hedge_fallback_delay is used until enough
+  /// RTT samples accumulate (32).
+  double hedge_quantile = 0.95;
+  SimDuration hedge_min_delay = msec(1);
+  SimDuration hedge_fallback_delay = msec(5);
+
+  /// Read retries on attempt timeout, against replicas excluding every
+  /// previously-tried host (Envoy host reselection). 0 = off.
+  int read_retries = 0;
+  /// Backoff before retry attempt k is 2^(k-1) * retry_backoff.
+  SimDuration retry_backoff = msec(5);
+
+  /// Per-DC token-bucket admission control at the coordinator, in requests
+  /// per second. 0 = off.
+  double admission_rate = 0;
+  double admission_burst = 100;  ///< bucket depth, requests
+  AdmissionMode admission_mode = AdmissionMode::kShed;
+  /// kDelay mode: longest a request may wait for a token before shedding.
+  SimDuration admission_max_delay = msec(50);
+};
+
 struct ClusterConfig {
   std::size_t node_count = 10;
   std::size_t dc_count = 2;
@@ -86,6 +165,9 @@ struct ClusterConfig {
   /// Cap on keys repaired per sweep (bounds repair burst size).
   std::size_t anti_entropy_keys_per_round = 512;
 
+  /// Hedging / retry / admission knobs (all off by default).
+  ResilienceConfig resilience{};
+
   /// rf split per DC under NTS (first DCs take the remainder).
   std::vector<int> rf_per_dc() const;
   /// Replication factor inside `dc` (rf when SimpleStrategy, split when NTS).
@@ -95,20 +177,29 @@ struct ClusterConfig {
 struct ReadResult {
   bool ok = false;       ///< required responses arrived in time
   bool found = false;    ///< any contacted replica had the key
+  bool shed = false;     ///< rejected by admission control (ok is false)
   Version version = kNoVersion;
   std::uint32_t value_size = 0;
   int replicas_contacted = 0;
   bool stale = false;            ///< oracle ground truth
   SimDuration staleness_age = 0; ///< oracle ground truth (0 when fresh)
+  SimDuration retry_after = 0;   ///< when shed: earliest useful re-issue delay
 };
 
 struct WriteResult {
   bool ok = false;
+  bool shed = false;  ///< rejected by admission control (ok is false)
   Version version = kNoVersion;
+  SimDuration retry_after = 0;  ///< when shed: earliest useful re-issue delay
 };
 
-using ReadCallback = std::function<void(const ReadResult&)>;
-using WriteCallback = std::function<void(const WriteResult&)>;
+/// Completion callbacks are move-only inline callables: the capture bytes
+/// live in the pending-request record, so delivering a result performs no
+/// heap traffic (std::function was the request path's last steady-state
+/// allocation). 80 bytes covers the workload clients' captures with room for
+/// bench/test lambdas.
+using ReadCallback = InlineCallable<80, const ReadResult&>;
+using WriteCallback = InlineCallable<80, const WriteResult&>;
 
 class Cluster {
  public:
@@ -123,19 +214,32 @@ class Cluster {
   /// (dataset load; bypasses messaging and the oracle).
   void preload_range(std::uint64_t count, std::uint32_t size);
 
-  /// Issue a client read from a client homed in `client_dc`. The callback
-  /// fires when the response reaches the client (or the request times out).
-  void client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
-                   ReadCallback cb);
+  /// Sentinel origin: the client is homed in the DC it contacts.
+  static constexpr net::DcId kSameOrigin = 0xFFFF;
 
-  /// Issue a client write (value of `size` bytes) from `client_dc`.
+  /// Issue a client read against a coordinator in `client_dc`. The callback
+  /// fires when the response reaches the client (or the request times out).
+  /// `origin_dc` is where the client physically lives: when it differs from
+  /// `client_dc` (DC-failover re-routing) the client link is a cross-DC hop.
+  void client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
+                   ReadCallback cb, net::DcId origin_dc = kSameOrigin);
+
+  /// Issue a client write (value of `size` bytes) against `client_dc`.
   void client_write(net::DcId client_dc, Key key, std::uint32_t size,
-                    ReplicaRequirement req, WriteCallback cb);
+                    ReplicaRequirement req, WriteCallback cb,
+                    net::DcId origin_dc = kSameOrigin);
 
   // ---- failure injection -------------------------------------------------
   void kill_node(net::NodeId id);
   void revive_node(net::NodeId id);
+  void kill_dc(net::DcId dc);
+  void revive_dc(net::DcId dc);
   std::size_t alive_count() const;
+  /// True while at least one node in `dc` is alive (client re-routing poll).
+  bool dc_alive(net::DcId dc) const { return alive_per_dc_[dc] > 0; }
+
+  /// Schedule one scripted fault action on the typed event lane.
+  void schedule_fault(const FaultSpec& f);
 
   // ---- introspection -----------------------------------------------------
   const net::Topology& topology() const { return topo_; }
@@ -162,8 +266,17 @@ class Cluster {
   /// amortized commit-log flushes; memtable hits are free).
   double disk_io() const;
   SimDuration total_busy_time() const;
+  /// Requests that exhausted every attempt without meeting their requirement.
+  /// A request rescued by a retry or hedge is NOT counted here.
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t unavailable() const { return unavailable_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t hedges_fired() const { return hedges_fired_; }
+  /// Hedge legs whose response completed the read (the hedge paid off).
+  std::uint64_t hedge_wins() const { return hedge_wins_; }
+  std::uint64_t sheds() const { return sheds_; }
+  /// Current hedge delay (fallback until enough RTT samples accumulate).
+  SimDuration current_hedge_delay() const;
   std::uint64_t read_repairs_sent() const { return read_repairs_; }
   std::uint64_t anti_entropy_repairs() const { return anti_entropy_repairs_; }
   std::size_t anti_entropy_backlog() const { return dirty_keys_.size(); }
@@ -212,6 +325,10 @@ class Cluster {
     bool responded = false;
     bool delivered = false;   ///< client callback has run (or is imminent)
     bool deliver_ok = false;  ///< result the delivery leg will report
+    bool deliver_shed = false;    ///< delivery reports an admission rejection
+    bool cross_origin = false;    ///< client lives in another DC (failover)
+    bool admitted = false;        ///< kDelay admission already paid its token
+    SimDuration deliver_retry_after = 0;
     WriteCallback cb;
     sim::EventHandle timeout;
 
@@ -234,6 +351,10 @@ class Cluster {
       responded = false;
       delivered = false;
       deliver_ok = false;
+      deliver_shed = false;
+      cross_origin = false;
+      admitted = false;
+      deliver_retry_after = 0;
       cb = nullptr;
       timeout = {};
     }
@@ -259,6 +380,19 @@ class Cluster {
     ReadCallback cb;
     sim::EventHandle timeout;
 
+    // ---- resilience state (untouched on the knobs-off path) --------------
+    /// Snitch order captured at start_read; hedge/retry candidates walk it
+    /// skipping already-contacted hosts. Filled only when hedging or retries
+    /// are enabled (it reuses the ordering start_read computes anyway).
+    ReplicaList snitch_order;
+    std::uint8_t attempts = 1;  ///< attempts started (1 = the original)
+    bool hedged = false;        ///< a hedge leg is in flight (or landed)
+    bool cross_origin = false;  ///< client lives in another DC (failover)
+    bool admitted = false;      ///< kDelay admission already paid its token
+    net::NodeId hedge_replica = 0;  ///< valid while `hedged`
+    sim::EventHandle hedge_timer;
+    sim::EventHandle retry_timer;
+
     void reset_for_reuse() {
       key = {};
       start = 0;
@@ -278,6 +412,14 @@ class Cluster {
       result = {};
       cb = nullptr;
       timeout = {};
+      snitch_order.clear();
+      attempts = 1;
+      hedged = false;
+      cross_origin = false;
+      admitted = false;
+      hedge_replica = 0;
+      hedge_timer = {};
+      retry_timer = {};
     }
   };
 
@@ -285,10 +427,10 @@ class Cluster {
   using ReadHandle = SlotPool<PendingRead>::Handle;
 
   net::NodeId pick_coordinator(net::DcId dc, Rng& rng);
-  SimDuration client_link_delay(Rng& rng);
+  SimDuration client_link_delay(Rng& rng, bool cross_dc = false);
   SimDuration link_delay(net::NodeId src, net::NodeId dst, Rng& rng);
   void account(net::NodeId src, net::NodeId dst, std::uint64_t bytes);
-  void account_client(std::uint64_t bytes);
+  void account_client(std::uint64_t bytes, bool cross_dc = false);
 
   /// Order candidate read replicas for a coordinator (snitch).
   ReplicaList order_for_read(net::NodeId coord, const ReplicaList& replicas,
@@ -310,6 +452,25 @@ class Cluster {
   void read_response(ReadHandle h, net::NodeId replica, bool found,
                      VersionedValue value, SimDuration rtt);
   void finish_read(ReadHandle h, bool ok);
+
+  // ---- resilience helpers ------------------------------------------------
+  /// Next snitch-ranked alive replica not yet contacted (honouring the
+  /// local-DC restriction); -1 when exhausted.
+  int next_untried_replica(const PendingRead& r) const;
+  /// Send one data-read leg of attempt `h` to `replica` (hedge/retry legs).
+  void send_read_leg(ReadHandle h, net::NodeId replica);
+  void fire_hedge(ReadHandle h);
+  void read_timeout(ReadHandle h);
+  void retry_read(ReadHandle h);
+  void observe_read_rtt(SimDuration rtt);
+  /// Token-bucket check for one request in `dc`. Returns 0 when admitted
+  /// (one token consumed); otherwise the retry-after the shed should carry.
+  SimDuration admit(net::DcId dc);
+  void apply_fault(FaultOp op, net::NodeId node, net::DcId dc, double factor);
+  void set_node_latency_mult(net::NodeId node, double factor);
+
+  void write_shed(WriteHandle h, SimDuration retry_after);
+  void read_shed(ReadHandle h, SimDuration retry_after);
   void send_repair(net::NodeId coord, net::NodeId target, Key key,
                    const VersionedValue& value);
   void repair_arrive(net::NodeId target, Key key, const VersionedValue& value);
@@ -353,6 +514,9 @@ class Cluster {
   /// revive_node keep it in sync.
   std::vector<std::uint8_t> alive_;
   bool node_alive(net::NodeId id) const { return alive_[id] != 0; }
+  /// Alive-node count per DC, kept in sync by kill_node/revive_node; feeds
+  /// dc_alive() so clients can poll failover state in O(1).
+  DcCounts alive_per_dc_;
 
   std::uint64_t write_seq_ = 0;
   std::uint64_t replica_ops_ = 0;
@@ -360,6 +524,32 @@ class Cluster {
   std::uint64_t unavailable_ = 0;
   std::uint64_t read_repairs_ = 0;
   std::uint64_t anti_entropy_repairs_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t hedges_fired_ = 0;
+  std::uint64_t hedge_wins_ = 0;
+  std::uint64_t sheds_ = 0;
+
+  // ---- resilience state --------------------------------------------------
+  /// Replica read RTTs feeding the hedge-delay quantile; sampled only while
+  /// hedging is enabled. The cached delay is recomputed every 64 samples so
+  /// the percentile scan stays off the per-response path.
+  LatencyHistogram hedge_rtt_;
+  SimDuration hedge_delay_cached_ = 0;  ///< 0: use the fallback delay
+
+  /// Per-DC admission token buckets (lazy refill on access).
+  struct TokenBucket {
+    double tokens = 0;
+    SimTime last = 0;
+  };
+  SmallVec<TokenBucket, kMaxDcs> admission_;
+
+  /// Per-node link-latency multipliers and the WAN-wide multiplier from
+  /// degradation faults. `links_degraded_` gates the multiply so the healthy
+  /// path never pays it (and stays byte-identical).
+  std::vector<double> latency_mult_;
+  double wan_mult_ = 1.0;
+  bool links_degraded_ = false;
+  void refresh_links_degraded();
 
   SlotPool<PendingWrite> pending_writes_;
   SlotPool<PendingRead> pending_reads_;

@@ -1,13 +1,20 @@
-// Move-only callable with inline (small-buffer) storage.
+// Move-only callables with inline (small-buffer) storage.
 //
 // The discrete-event kernel schedules tens of millions of callbacks per run;
 // std::function heap-allocates any capture list larger than two pointers and
-// requires copyability. InlineFn stores callables up to `Capacity` bytes
-// in-place (the event slab then owns the bytes — zero allocations per event)
-// and falls back to the heap only for oversized captures, which the hot paths
-// avoid by construction. Move-only on purpose: event callbacks are consumed
-// exactly once, and banning copies keeps accidental capture-copying out of
-// the kernel.
+// requires copyability. InlineCallable stores callables up to `Capacity`
+// bytes in-place (the event slab then owns the bytes — zero allocations per
+// event) and falls back to the heap only for oversized captures, which the
+// hot paths avoid by construction. Move-only on purpose: event callbacks are
+// consumed exactly once, and banning copies keeps accidental capture-copying
+// out of the kernel.
+//
+// Two instantiation families share the implementation:
+//   * InlineFn<Capacity> — the kernel's nullary `void()` event callback;
+//   * InlineCallable<Capacity, Args...> — `void(Args...)` completion
+//     callbacks (the cluster's ReadCallback/WriteCallback), which used to be
+//     std::functions and were the last steady-state heap traffic on the
+//     request path.
 #pragma once
 
 #include <cstddef>
@@ -20,17 +27,17 @@
 
 namespace harmony {
 
-template <std::size_t Capacity>
-class InlineFn {
+template <std::size_t Capacity, typename... Args>
+class InlineCallable {
  public:
-  InlineFn() = default;
-  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  InlineCallable() = default;
+  InlineCallable(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename D = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
-                                        std::is_invocable_r_v<void, D&>>>
-  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallable> &&
+                                        std::is_invocable_r_v<void, D&, Args...>>>
+  InlineCallable(F&& f) {  // NOLINT(google-explicit-constructor)
     if constexpr (sizeof(D) <= Capacity &&
                   alignof(D) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<D>) {
@@ -42,9 +49,9 @@ class InlineFn {
     }
   }
 
-  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineCallable(InlineCallable&& other) noexcept { move_from(other); }
 
-  InlineFn& operator=(InlineFn&& other) noexcept {
+  InlineCallable& operator=(InlineCallable&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
@@ -52,14 +59,14 @@ class InlineFn {
     return *this;
   }
 
-  InlineFn(const InlineFn&) = delete;
-  InlineFn& operator=(const InlineFn&) = delete;
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
 
-  ~InlineFn() { reset(); }
+  ~InlineCallable() { reset(); }
 
-  void operator()() {
-    HARMONY_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineFn");
-    ops_->invoke(storage_);
+  void operator()(Args... args) {
+    HARMONY_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineCallable");
+    ops_->invoke(storage_, static_cast<Args&&>(args)...);
   }
 
   explicit operator bool() const { return ops_ != nullptr; }
@@ -75,7 +82,7 @@ class InlineFn {
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    void (*invoke)(void*, Args&&...);
     void (*relocate)(void* src, void* dst);  ///< move into raw dst, destroy src
     void (*destroy)(void*);                  ///< null: trivially destructible
     /// kNonTrivialRelocate: relocate via the indirect call; otherwise the
@@ -87,7 +94,9 @@ class InlineFn {
 
   template <typename D>
   static constexpr Ops inline_ops = {
-      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* p, Args&&... args) {
+        (*static_cast<D*>(p))(static_cast<Args&&>(args)...);
+      },
       [](void* src, void* dst) {
         D& s = *static_cast<D*>(src);
         ::new (dst) D(std::move(s));
@@ -106,13 +115,15 @@ class InlineFn {
 
   template <typename D>
   static constexpr Ops heap_ops = {
-      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* p, Args&&... args) {
+        (**static_cast<D**>(p))(static_cast<Args&&>(args)...);
+      },
       [](void* src, void* dst) { ::new (dst) D*(*static_cast<D**>(src)); },
       [](void* p) { delete *static_cast<D**>(p); },
       sizeof(D*),  // relocating the heap pointer is itself a trivial copy
   };
 
-  void move_from(InlineFn& other) noexcept {
+  void move_from(InlineCallable& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
       const std::uint32_t ts = ops_->trivial_size;
@@ -128,5 +139,9 @@ class InlineFn {
   alignas(std::max_align_t) unsigned char storage_[Capacity];
   const Ops* ops_ = nullptr;
 };
+
+/// The kernel's nullary event callback (historic name, used throughout).
+template <std::size_t Capacity>
+using InlineFn = InlineCallable<Capacity>;
 
 }  // namespace harmony

@@ -22,6 +22,7 @@ Monitor::Monitor(MonitorConfig cfg)
 
 void Monitor::attach(cluster::Cluster& c, net::DcId client_home_dc) {
   c.set_observer(this);
+  cluster_ = &c;
   rf_ = c.config().rf;
   local_rf_ = c.config().local_rf(client_home_dc);
   prop_delay_.assign(static_cast<std::size_t>(rf_), Ewma(cfg_.ewma_half_life));
@@ -160,6 +161,28 @@ SystemState Monitor::snapshot(SimTime now) {
   win_reads_ = win_writes_ = 0;
   win_value_bytes_ = 0;
   win_gaps_.reset();
+
+  // Degraded-mode rates: counter deltas since the previous snapshot. Zero
+  // everywhere while the resilience knobs are off, so healthy-path policies
+  // see exactly what they saw before.
+  if (cluster_ != nullptr) {
+    const double span_s = to_seconds(now - last_snapshot_time_);
+    const std::uint64_t timeouts = cluster_->timeouts();
+    const std::uint64_t retries = cluster_->retries();
+    const std::uint64_t hedges = cluster_->hedges_fired();
+    const std::uint64_t sheds = cluster_->sheds();
+    if (span_s > 0) {
+      s.timeout_rate = static_cast<double>(timeouts - last_timeouts_) / span_s;
+      s.retry_rate = static_cast<double>(retries - last_retries_) / span_s;
+      s.hedge_rate = static_cast<double>(hedges - last_hedges_) / span_s;
+      s.shed_rate = static_cast<double>(sheds - last_sheds_) / span_s;
+    }
+    last_timeouts_ = timeouts;
+    last_retries_ = retries;
+    last_hedges_ = hedges;
+    last_sheds_ = sheds;
+    last_snapshot_time_ = now;
+  }
   return s;
 }
 

@@ -61,6 +61,15 @@ struct SystemState {
   /// ~1/n a uniform workload.
   double key_collision = 0;
 
+  /// Degraded-mode signals, events/s over the window since the previous
+  /// snapshot: how much of the coordinator's work is failure handling.
+  /// Policies can read these to detect fault regimes (a timeout/shed spike)
+  /// without touching simulator internals a real deployment could not see.
+  double timeout_rate = 0;
+  double retry_rate = 0;
+  double hedge_rate = 0;
+  double shed_rate = 0;
+
   /// Total propagation window Tp in µs (convenience accessor).
   double window_us() const {
     return prop_delays_us.empty() ? 0.0 : prop_delays_us.back();
@@ -109,6 +118,14 @@ class Monitor : public cluster::ClusterObserver {
   MonitorConfig cfg_;
   int rf_ = 1;
   int local_rf_ = 1;
+  /// Attached cluster: read-only counter source for the degraded-mode rates
+  /// (the counters are observable coordinator metrics, not oracle state).
+  const cluster::Cluster* cluster_ = nullptr;
+  SimTime last_snapshot_time_ = 0;
+  std::uint64_t last_timeouts_ = 0;
+  std::uint64_t last_retries_ = 0;
+  std::uint64_t last_hedges_ = 0;
+  std::uint64_t last_sheds_ = 0;
 
   WindowedRate read_rate_;
   WindowedRate write_rate_;

@@ -52,6 +52,7 @@ enum class EventKind : std::uint8_t {
   kRepairApply,        ///< repair service done; mutation hits the store
   kHintDeliver,        ///< hinted-handoff replay leg reached its target
   kAntiEntropySweep,   ///< periodic dirty-key sweep
+  kFault,              ///< scheduled fault-injection action (kill/degrade/...)
 
   // ---- workload domain (16..31): clients --------------------------------
   kClientIssue = 16,   ///< a client issues its next operation
@@ -113,6 +114,11 @@ struct TypedEvent {
       SimTime version_ts;
       std::uint64_t version_seq;
     } kv;  ///< kRepairArrive/kRepairApply/kHintDeliver (node=target, aux=size)
+    struct {
+      std::uint32_t op;    ///< cluster::FaultOp, widened for the POD union
+      std::uint32_t dc;    ///< target DC for blackout/restore ops
+      double factor;       ///< latency multiplier for degradation ops
+    } fault;  ///< kFault (node=target node for node-scoped ops)
     std::uint64_t raw[4];
   } u{};
 };

@@ -7,9 +7,10 @@
 namespace harmony::workload {
 
 Client::Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s,
-               Rng rng)
+               Rng rng, bool reroute_on_dc_outage, int shed_retry_limit)
     : env_(&env), home_(home_dc), target_rate_(target_rate_per_s),
-      rng_(std::move(rng)) {}
+      rng_(std::move(rng)), reroute_(reroute_on_dc_outage),
+      shed_retry_limit_(shed_retry_limit) {}
 
 namespace {
 sim::TypedEvent issue_event(Client* client) {
@@ -56,7 +57,7 @@ void Client::issue_next() {
   last_issue_ = env_->simulation().now();
   switch (op.type) {
     case OpType::kRead:
-      do_read(op, /*then_write=*/false);
+      do_read(op, /*then_write=*/false, last_issue_, 0);
       break;
     case OpType::kUpdate:
     case OpType::kInsert:
@@ -64,42 +65,86 @@ void Client::issue_next() {
       do_write(op, last_issue_, 0);
       break;
     case OpType::kReadModifyWrite:
-      do_read(op, /*then_write=*/true);
+      do_read(op, /*then_write=*/true, last_issue_, 0);
       break;
   }
 }
 
-void Client::do_read(const Op& op, bool then_write) {
-  const SimTime start = env_->simulation().now();
-  env_->monitor().record_read_issued(start, op.key);
+net::DcId Client::route_dc() {
+  if (!reroute_ || env_->cluster().dc_alive(home_)) return home_;
+  const std::size_t dcs = env_->cluster().config().dc_count;
+  for (std::size_t i = 1; i < dcs; ++i) {
+    const auto d = static_cast<net::DcId>((home_ + i) % dcs);
+    if (env_->cluster().dc_alive(d)) {
+      ++rerouted_;
+      return d;
+    }
+  }
+  return home_;  // every DC is dark; the request comes back unavailable
+}
+
+void Client::do_read(const Op& op, bool then_write, SimTime first_start,
+                     int shed_attempts) {
+  // Monitor issue/complete hooks fire once per logical op, not per shed
+  // re-issue, so the policy layer's rates count client intent.
+  if (shed_attempts == 0) {
+    env_->monitor().record_read_issued(first_start, op.key);
+  }
   const cluster::ReplicaRequirement req = env_->policy().read_requirement();
   env_->cluster().client_read(
-      home_, op.key, req,
-      [this, op, start, then_write, req](const cluster::ReadResult& r) {
-        const SimDuration latency = env_->simulation().now() - start;
+      route_dc(), op.key, req,
+      [this, op, first_start, then_write, req,
+       shed_attempts](const cluster::ReadResult& r) {
+        if (r.shed && shed_attempts < shed_retry_limit_) {
+          ++shed_retries_;
+          // Honor retry-after; exponential jitter keeps shed clients from
+          // re-arriving in lockstep and re-shedding as a block.
+          const SimDuration delay =
+              r.retry_after +
+              static_cast<SimDuration>(rng_.exponential(500.0));
+          env_->simulation().schedule(
+              delay, [this, op, first_start, then_write, shed_attempts] {
+                do_read(op, then_write, first_start, shed_attempts + 1);
+              });
+          return;
+        }
+        const SimDuration latency = env_->simulation().now() - first_start;
         env_->monitor().record_read_complete(env_->simulation().now(), latency);
         env_->on_read_complete(r, latency, req.count);
         if (then_write) {
           env_->monitor().record_write_issued(env_->simulation().now(), op.key,
                                               op.value_size);
-          do_write(op, start, latency);
+          do_write(op, env_->simulation().now(), 0);
         } else {
           schedule_next();
         }
-      });
+      },
+      /*origin_dc=*/home_);
 }
 
-void Client::do_write(const Op& op, SimTime /*op_start*/, SimDuration /*read_part*/) {
-  const SimTime start = env_->simulation().now();
+void Client::do_write(const Op& op, SimTime first_start, int shed_attempts) {
   const cluster::ReplicaRequirement req = env_->policy().write_requirement();
   env_->cluster().client_write(
-      home_, op.key, op.value_size, req,
-      [this, start](const cluster::WriteResult& w) {
-        const SimDuration latency = env_->simulation().now() - start;
-        env_->monitor().record_write_complete(env_->simulation().now(), latency);
+      route_dc(), op.key, op.value_size, req,
+      [this, op, first_start, shed_attempts](const cluster::WriteResult& w) {
+        if (w.shed && shed_attempts < shed_retry_limit_) {
+          ++shed_retries_;
+          const SimDuration delay =
+              w.retry_after +
+              static_cast<SimDuration>(rng_.exponential(500.0));
+          env_->simulation().schedule(
+              delay, [this, op, first_start, shed_attempts] {
+                do_write(op, first_start, shed_attempts + 1);
+              });
+          return;
+        }
+        const SimDuration latency = env_->simulation().now() - first_start;
+        env_->monitor().record_write_complete(env_->simulation().now(),
+                                              latency);
         env_->on_write_complete(w, latency);
         schedule_next();
-      });
+      },
+      /*origin_dc=*/home_);
 }
 
 }  // namespace harmony::workload

@@ -45,7 +45,10 @@ class ClientEnv {
 
 class Client {
  public:
-  Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s, Rng rng);
+  /// `reroute_on_dc_outage` / `shed_retry_limit` mirror the WorkloadSpec
+  /// resilience knobs (the runner forwards them).
+  Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s, Rng rng,
+         bool reroute_on_dc_outage = false, int shed_retry_limit = 8);
 
   /// Schedule this client's first operation (with a small random stagger so
   /// clients do not start in lockstep).
@@ -53,6 +56,10 @@ class Client {
 
   net::DcId home_dc() const { return home_; }
   std::uint64_t ops_issued() const { return issued_; }
+  /// Operations routed to a non-home DC because home had no alive node.
+  std::uint64_t rerouted_ops() const { return rerouted_; }
+  /// Re-issues of admission-shed operations (each shed->re-issue counts one).
+  std::uint64_t shed_retries() const { return shed_retries_; }
 
   /// Typed-lane dispatcher for the workload event domain (`ev.target` names
   /// the Client instance). Registered on the Simulation by start().
@@ -61,8 +68,14 @@ class Client {
  private:
   void issue_next();
   void schedule_next();
-  void do_read(const Op& op, bool then_write);
-  void do_write(const Op& op, SimTime op_start, SimDuration read_part);
+  /// `first_start` is the op's first issue time (shed retries keep it, so
+  /// latency stays end-to-end); `shed_attempts` counts re-issues so far.
+  void do_read(const Op& op, bool then_write, SimTime first_start,
+               int shed_attempts);
+  void do_write(const Op& op, SimTime first_start, int shed_attempts);
+  /// Home DC while it has alive nodes; otherwise the next alive DC (when
+  /// re-routing is enabled).
+  net::DcId route_dc();
 
   ClientEnv* env_;
   net::DcId home_;
@@ -71,6 +84,10 @@ class Client {
   SimTime last_issue_ = 0;
   std::uint64_t issued_ = 0;
   bool finished_ = false;
+  bool reroute_ = false;
+  int shed_retry_limit_ = 8;
+  std::uint64_t rerouted_ = 0;
+  std::uint64_t shed_retries_ = 0;
 };
 
 }  // namespace harmony::workload

@@ -23,6 +23,10 @@ class Runner final : public ClientEnv {
         op_rng_(sim_.fork_rng(0x0FAB5EED)),
         request_dist_(cfg.workload.request_dist.build(cfg.workload.record_count)) {
     cfg_.workload.validate();
+    HARMONY_CHECK_MSG(
+        cfg_.workload.client_dc <
+            static_cast<int>(cfg_.cluster.dc_count),
+        "client_dc out of range");
     monitor_.attach(cluster_, /*client_home_dc=*/0);
     policy::PolicyInit init;
     init.rf = cfg_.cluster.rf;
@@ -36,18 +40,24 @@ class Runner final : public ClientEnv {
     cluster_.preload_range(cfg_.workload.record_count, cfg_.workload.value_size);
     next_insert_key_ = cfg_.workload.record_count;
 
-    // Clients, spread over every DC.
+    // Clients, spread over every DC (or confined to one via client_dc).
     for (std::size_t d = 0; d < cfg_.cluster.dc_count; ++d) {
+      if (cfg_.workload.client_dc >= 0 &&
+          d != static_cast<std::size_t>(cfg_.workload.client_dc)) {
+        continue;
+      }
       for (int i = 0; i < cfg_.workload.clients_per_dc; ++i) {
         clients_.push_back(std::make_unique<Client>(
             *this, static_cast<net::DcId>(d),
             cfg_.workload.target_rate_per_client,
-            sim_.fork_rng(0xC11E017 + clients_.size())));
+            sim_.fork_rng(0xC11E017 + clients_.size()),
+            cfg_.workload.reroute_on_dc_outage,
+            cfg_.workload.shed_retry_limit));
       }
     }
     for (auto& c : clients_) c->start();
 
-    // Scheduled failure injection.
+    // Scheduled failure injection (legacy kill/revive list, closure lane).
     for (const auto& fault : cfg_.faults) {
       sim_.schedule_at(fault.at, [this, fault] {
         if (fault.kill) {
@@ -56,6 +66,10 @@ class Runner final : public ClientEnv {
           cluster_.revive_node(fault.node);
         }
       });
+    }
+    // Full fault schedule, typed lane (blackouts, degradation windows, ...).
+    for (const auto& fault : cfg_.fault_schedule) {
+      cluster_.schedule_fault(fault);
     }
 
     // Policy retuning tick.
@@ -214,6 +228,14 @@ class Runner final : public ClientEnv {
     r.unavailable = cluster_.unavailable();
     r.read_repairs = cluster_.read_repairs_sent();
     r.sim_events = sim_.events_processed();
+    r.retries = cluster_.retries();
+    r.hedges_fired = cluster_.hedges_fired();
+    r.hedge_wins = cluster_.hedge_wins();
+    r.sheds = cluster_.sheds();
+    for (const auto& c : clients_) {
+      r.client_shed_retries += c->shed_retries();
+      r.rerouted_ops += c->rerouted_ops();
+    }
     return r;
   }
 

@@ -47,6 +47,12 @@ struct RunConfig {
     bool kill = true;  ///< false = revive
   };
   std::vector<FaultEvent> faults;
+
+  /// Full fault schedule (kill/revive, DC blackout/restore, link degradation
+  /// windows), driven off the typed event lane via Cluster::schedule_fault —
+  /// every scenario replays bit-identically from the seed. Subsumes `faults`,
+  /// which is kept for the node-kill-only legacy call sites.
+  std::vector<cluster::FaultSpec> fault_schedule;
 };
 
 struct RunResult {
@@ -95,6 +101,17 @@ struct RunResult {
   std::uint64_t read_repairs = 0;
   std::uint64_t sim_events = 0;
   double total_wall_s = 0;  ///< including warmup
+
+  // ---- resilience SLA metrics (whole run) ----------------------------------
+  // `timeouts` above counts only requests that exhausted every attempt; a
+  // request rescued by a retry or hedge shows up in `retries`/`hedge_wins`
+  // instead of being double-counted as a timeout.
+  std::uint64_t retries = 0;           ///< coordinator read retry attempts
+  std::uint64_t hedges_fired = 0;      ///< speculative backup reads sent
+  std::uint64_t hedge_wins = 0;        ///< hedge legs that completed the read
+  std::uint64_t sheds = 0;             ///< requests rejected by admission
+  std::uint64_t client_shed_retries = 0;  ///< client re-issues after a shed
+  std::uint64_t rerouted_ops = 0;      ///< ops routed to a non-home DC
 
   /// One-line summary for logs.
   std::string summary() const;

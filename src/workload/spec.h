@@ -37,6 +37,18 @@ struct WorkloadSpec {
   int clients_per_dc = 32;
   /// Per-client op rate cap (ops/s). 0 = unthrottled closed loop.
   double target_rate_per_client = 0.0;
+  /// Confine clients to one DC (-1 = clients in every DC). Models an app
+  /// tier homed in a single region reading from replicas spread across
+  /// regions — the setup where hedged reads target *remote* replicas.
+  int client_dc = -1;
+
+  /// DC failover: when a client's home DC has no alive node, route the
+  /// operation to the next alive DC instead (cross-DC client link). Off by
+  /// default — without it, ops against a blacked-out DC go unavailable.
+  bool reroute_on_dc_outage = false;
+  /// How many times a client re-issues an admission-shed operation (honoring
+  /// the coordinator's retry-after plus a small jitter) before giving up.
+  int shed_retry_limit = 8;
 
   /// Fraction of writes among all operations (updates + inserts + rmw's
   /// write half counts as write for rate purposes).

@@ -388,7 +388,8 @@ struct ClusterRunResult {
 };
 
 ClusterRunResult run_cluster_schedule(std::uint64_t seed,
-                                      bool typed_lane = true) {
+                                      bool typed_lane = true,
+                                      bool resilience = false) {
   Rng setup(seed);
   sim::Simulation sim(seed);
   // typed_lane=false replays the identical schedule through the erased
@@ -409,8 +410,55 @@ ClusterRunResult run_cluster_schedule(std::uint64_t seed,
     cfg.request_timeout = 20 * kMillisecond;
   }
   if (setup.chance(0.3)) cfg.anti_entropy_period = 50 * kMillisecond;
+  if (resilience) {
+    // Knobs-on variant: randomized hedging / retry / admission settings, so
+    // the resilience machinery replays through both dispatch lanes on the
+    // same adversarial schedules as the knobs-off harness.
+    cluster::ResilienceConfig& rc = cfg.resilience;
+    rc.hedge_reads = setup.chance(0.8);
+    rc.hedge_quantile = 0.5 + setup.uniform() * 0.45;
+    rc.hedge_fallback_delay = msec(1 + setup.uniform_u64(5));
+    rc.read_retries = static_cast<int>(setup.uniform_u64(3));
+    rc.retry_backoff = msec(1 + setup.uniform_u64(4));
+    if (setup.chance(0.5)) {
+      rc.admission_rate = 500 + static_cast<double>(setup.uniform_u64(4000));
+      rc.admission_burst = 20 + static_cast<double>(setup.uniform_u64(100));
+      rc.admission_mode = setup.chance(0.5) ? cluster::AdmissionMode::kShed
+                                            : cluster::AdmissionMode::kDelay;
+    }
+  }
 
   cluster::Cluster c(sim, cfg);
+  if (resilience) {
+    // Scripted faults on the typed event lane: degradation windows always,
+    // a whole-DC blackout when a second DC exists to absorb the traffic.
+    const auto victim =
+        static_cast<net::NodeId>(setup.uniform_u64(cfg.node_count));
+    const SimTime deg_at = static_cast<SimTime>(
+        setup.uniform_u64(kSecond));
+    c.schedule_fault({deg_at, cluster::FaultOp::kDegradeNode, victim, 0,
+                      5.0 + static_cast<double>(setup.uniform_u64(30))});
+    c.schedule_fault({deg_at + 300 * kMillisecond,
+                      cluster::FaultOp::kRestoreNode, victim, 0, 1.0});
+    if (cfg.dc_count > 1) {
+      if (setup.chance(0.6)) {
+        const SimTime out_at =
+            static_cast<SimTime>(setup.uniform_u64(kSecond));
+        c.schedule_fault(
+            {out_at, cluster::FaultOp::kDcBlackout, 0, 1, 1.0});
+        c.schedule_fault({out_at + 200 * kMillisecond,
+                          cluster::FaultOp::kDcRestore, 0, 1, 1.0});
+      }
+      if (setup.chance(0.5)) {
+        const SimTime wan_at =
+            static_cast<SimTime>(setup.uniform_u64(kSecond));
+        c.schedule_fault({wan_at, cluster::FaultOp::kDegradeWan, 0, 0,
+                          2.0 + static_cast<double>(setup.uniform_u64(6))});
+        c.schedule_fault({wan_at + 250 * kMillisecond,
+                          cluster::FaultOp::kRestoreWan, 0, 0, 1.0});
+      }
+    }
+  }
   DiffSink sink;
   c.oracle().set_trace_sink(&sink);
 
@@ -513,6 +561,10 @@ ClusterRunResult run_cluster_schedule(std::uint64_t seed,
                         c.oracle().stale_reads());
   out.fingerprint = mix(out.fingerprint, c.timeouts());
   out.fingerprint = mix(out.fingerprint, c.unavailable());
+  out.fingerprint = mix(out.fingerprint, c.retries());
+  out.fingerprint = mix(out.fingerprint, c.hedges_fired());
+  out.fingerprint = mix(out.fingerprint, c.hedge_wins());
+  out.fingerprint = mix(out.fingerprint, c.sheds());
   out.events = sim.events_processed();
   out.end_time = sim.now();
   return out;
@@ -566,6 +618,43 @@ TEST(RequestPathDiff, TypedLaneMatchesErasedLaneByteIdentical) {
   run_block(0xC10C0ULL, kClusterRuns);
   for (const auto seed : extra_seeds()) run_block(seed, 4);
   std::printf("[diff] typed-vs-erased cluster schedules: %llu\n",
+              (unsigned long long)schedules);
+}
+
+TEST(RequestPathDiff, ResilienceKnobsOnMatchBothLanesAndReproduce) {
+  // The same schedules with hedged reads, coordinator retries, admission
+  // control, and a scripted fault script (degradation windows, DC blackout,
+  // WAN inflation) layered on top. Hedge timers racing responses, retry
+  // backoffs racing late acks, and shed deliveries must all replay
+  // bit-identically — through the typed lane, through the erased lane, and
+  // across repeated runs. The oracle diff inside run_cluster_schedule keeps
+  // judging every read against the reference model throughout.
+  std::uint64_t schedules = 0;
+  auto run_block = [&](std::uint64_t base, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t seed = base + i;
+      const ClusterRunResult typed =
+          run_cluster_schedule(seed, true, /*resilience=*/true);
+      ASSERT_FALSE(::testing::Test::HasFailure())
+          << "resilience cluster diff diverged at seed " << seed;
+      const ClusterRunResult erased =
+          run_cluster_schedule(seed, false, /*resilience=*/true);
+      ASSERT_FALSE(::testing::Test::HasFailure())
+          << "erased-lane resilience diff diverged at seed " << seed;
+      ASSERT_EQ(typed.fingerprint, erased.fingerprint)
+          << "typed vs erased lane diverged with knobs on, seed " << seed;
+      ASSERT_EQ(typed.events, erased.events) << "seed " << seed;
+      ASSERT_EQ(typed.end_time, erased.end_time) << "seed " << seed;
+      const ClusterRunResult again =
+          run_cluster_schedule(seed, true, /*resilience=*/true);
+      ASSERT_EQ(typed.fingerprint, again.fingerprint)
+          << "knobs-on run not reproducible, seed " << seed;
+      ++schedules;
+    }
+  };
+  run_block(0x4E517ULL, kClusterRuns);
+  for (const auto seed : extra_seeds()) run_block(seed, 4);
+  std::printf("[diff] resilience knobs-on cluster schedules: %llu\n",
               (unsigned long long)schedules);
 }
 

@@ -88,5 +88,42 @@ TEST(RunnerFaults, FaultsAreDeterministic) {
   EXPECT_EQ(a.sim_events, b.sim_events);
 }
 
+TEST(RunnerFaults, ClientDcConfinesOfferedLoadToOneDc) {
+  // client_dc = 0 homes every client in DC 0: half the closed-loop clients
+  // of the spread (-1) run, so roughly half the throughput — and still every
+  // op accounted. The confined shape is what the resilience scenarios use
+  // (app tier in one region, hedges targeting remote replicas).
+  auto base = [](int client_dc) {
+    RunConfig cfg;
+    cfg.cluster.node_count = 10;
+    cfg.cluster.dc_count = 2;
+    cfg.cluster.rf = 4;  // NTS 2 + 2
+    cfg.cluster.latency = net::TieredLatencyModel::ec2_two_az();
+    cfg.workload = WorkloadSpec::ycsb_a();
+    cfg.workload.op_count = 8000;
+    cfg.workload.record_count = 400;
+    cfg.workload.clients_per_dc = 6;
+    cfg.workload.client_dc = client_dc;
+    cfg.warmup = 0;
+    cfg.seed = 21;
+    cfg.policy = core::static_level(cluster::Level::kOne);
+    return cfg;
+  };
+
+  const auto confined = run_experiment(base(0));
+  EXPECT_EQ(confined.reads + confined.writes, 8000u);
+  EXPECT_EQ(confined.errors, 0u) << confined.summary();
+
+  const auto spread = run_experiment(base(-1));
+  EXPECT_EQ(spread.reads + spread.writes, 8000u);
+  EXPECT_GT(spread.throughput, confined.throughput * 1.5) << spread.summary();
+
+  // Deterministic like everything else: same seed, same confinement, same
+  // event count.
+  const auto again = run_experiment(base(0));
+  EXPECT_EQ(again.sim_events, confined.sim_events);
+  EXPECT_EQ(again.throughput, confined.throughput);
+}
+
 }  // namespace
 }  // namespace harmony::workload
