@@ -557,6 +557,8 @@ class Cluster {
   // Anti-entropy state: keys mutated since the last sweep. The sweep is
   // scheduled lazily (only while dirty keys exist) so an idle cluster's
   // event queue drains.
+  // lint: allow(hot-path-alloc): touched only by the periodic anti-entropy
+  // sweep, not the request path; alloc_guard keeps that claim honest.
   std::unordered_set<Key> dirty_keys_;
   bool anti_entropy_scheduled_ = false;
 };

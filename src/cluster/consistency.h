@@ -23,6 +23,8 @@ enum class Level : std::uint8_t {
   kEachQuorum,
 };
 
+// lint: allow(hot-path-alloc): cold reporting helper for tables and logs;
+// the request path never stringifies levels.
 std::string to_string(Level level);
 
 /// All "global" levels in increasing strength (the set Bismar ranks).

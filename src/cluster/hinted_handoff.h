@@ -40,6 +40,8 @@ class HintStore {
   }
   std::size_t pending_total() const {
     std::size_t n = 0;
+    // lint: allow(determinism-unordered-iter): order-insensitive reduction
+    // (a sum); no iteration order can leak into schedules or output.
     for (const auto& [_, v] : hints_) n += v.size();
     return n;
   }

@@ -13,6 +13,8 @@ constexpr std::size_t kInitialWindows = 64;   // power of two
 void StalenessOracle::CommitRing::grow(SpillPool& pool) {
   const std::uint32_t new_cap = cap() * 2;
   auto next = pool.take(cap_class(new_cap));
+  // lint: allow(hot-path-alloc): ring growth is warm-up-only; steady state
+  // recycles rings through the spill pool (alloc_guard-pinned).
   if (!next) next = std::make_unique<Commit[]>(new_cap);
   for (std::uint32_t i = 0; i < size_; ++i) next[i] = (*this)[i];
   if (heap_) pool.put(cap_class(cap()), std::move(heap_));

@@ -44,6 +44,9 @@ class InlineCallable {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
       ops_ = &inline_ops<D>;
     } else {
+      // lint: allow(hot-path-alloc): oversized-capture fallback; request-path
+      // callbacks are sized to fit inline (test_request_path_alloc proves
+      // steady state never lands here).
       ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
       ops_ = &heap_ops<D>;
     }

@@ -4,11 +4,29 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/thread_annotations.h"
+
 namespace harmony {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;  // keeps concurrent experiment threads' lines whole
+
+/// The process-wide log sink. Concurrent experiment threads share one stream;
+/// the mutex keeps lines whole, and GUARDED_BY lets -Wthread-safety prove no
+/// write ever bypasses it.
+class LogSink {
+ public:
+  void write(const char* level, const std::string& msg) EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fprintf(stream_, "[%s] %s\n", level, msg.c_str());
+  }
+
+ private:
+  std::mutex mutex_;
+  std::FILE* const stream_ GUARDED_BY(mutex_) = stderr;
+};
+
+LogSink g_sink;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -28,8 +46,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 namespace detail {
 void log_write(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  g_sink.write(level_name(level), msg);
 }
 }  // namespace detail
 

@@ -1,5 +1,10 @@
 // Tiny leveled logger. Simulation code logs sparingly (it is hot); the logger
 // exists mainly so examples and experiment harnesses can narrate progress.
+//
+// Thread safety: the level is an atomic and the sink serializes whole lines
+// under a mutex (annotated for clang -Wthread-safety in logging.cpp), so
+// concurrent sweep workers may log freely. LogLine itself is a single-thread
+// stack object and needs no synchronization.
 #pragma once
 
 #include <sstream>

@@ -45,6 +45,8 @@ class SlotPool {
       free_head_ = slot(s).next_free;
     } else {
       if ((slot_count_ & kChunkMask) == 0) {
+        // lint: allow(hot-path-alloc): chunk growth is warm-up-only; steady
+        // state reuses the free list (alloc_guard-pinned).
         chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
       }
       s = slot_count_++;

@@ -1,0 +1,69 @@
+// Clang thread-safety-analysis macros (-Wthread-safety).
+//
+// These annotations turn the locking discipline of every cross-thread
+// structure (ThreadPool, the sweep result sink, the log sink) into a
+// machine-checked contract: clang statically proves that every access to a
+// GUARDED_BY member happens under its capability, and that REQUIRES/EXCLUDES
+// preconditions hold at every call site. GCC and older clangs compile the
+// macros away, so annotated headers stay portable.
+//
+// Build with -DHARMONY_THREAD_SAFETY=ON (clang only) to promote the analysis
+// to -Werror=thread-safety; the CI lint job does exactly that. See
+// docs/INVARIANTS.md ("cross-thread structures") for the enforcement map.
+//
+// Macro set and spelling follow the canonical example in the clang
+// documentation (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HARMONY_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HARMONY_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a type as a lockable capability (std::mutex already is one).
+#define CAPABILITY(x) HARMONY_THREAD_ANNOTATION(capability(x))
+
+/// Marks a capability acquired in scope by an RAII object (lock_guard-alikes).
+#define SCOPED_CAPABILITY HARMONY_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) HARMONY_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define PT_GUARDED_BY(x) HARMONY_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: caller already holds the capability(ies).
+#define REQUIRES(...) \
+  HARMONY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  HARMONY_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability(ies) and does not release before return.
+#define ACQUIRE(...) HARMONY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HARMONY_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases capability(ies) the caller held on entry.
+#define RELEASE(...) HARMONY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HARMONY_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function precondition: caller must NOT hold the capability(ies) (deadlock
+/// and self-lock protection for functions that lock internally).
+#define EXCLUDES(...) HARMONY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock acquired only if the return value equals `expr`.
+#define TRY_ACQUIRE(...) \
+  HARMONY_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding this object.
+#define RETURN_CAPABILITY(x) HARMONY_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (condition variables and
+/// callbacks whose caller provably holds the lock but the analysis can't see).
+#define ASSERT_CAPABILITY(x) HARMONY_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch; every use must carry a justification comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HARMONY_THREAD_ANNOTATION(no_thread_safety_analysis)

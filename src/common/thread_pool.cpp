@@ -4,8 +4,38 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace harmony {
+
+namespace {
+
+/// First-exception capture shared by parallel_for workers. The hot flag is a
+/// relaxed atomic so iterations can poll for early exit without taking the
+/// lock; the exception itself is GUARDED_BY the mutex so -Wthread-safety can
+/// prove the store/rethrow handoff is raced-free.
+class FirstError {
+ public:
+  void capture(std::exception_ptr e) EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::move(e);
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  void rethrow_if_failed() EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_ GUARDED_BY(mutex_);
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -41,7 +71,10 @@ void ThreadPool::worker_loop() {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      // Explicit predicate loop (rather than cv_.wait(lock, lambda)): the
+      // guarded reads stay in this scope, where the analysis can see the
+      // unique_lock holding mutex_.
+      while (!stopping_ && jobs_.empty()) cv_.wait(lock);
       if (jobs_.empty()) return;  // stopping and drained
       job = std::move(jobs_.front());
       jobs_.pop_front();
@@ -54,19 +87,16 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  FirstError error;
 
   auto body = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= n || failed.load()) return;
+      if (i >= n || error.failed()) return;
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = std::current_exception();
+        error.capture(std::current_exception());
         return;
       }
     }
@@ -77,7 +107,7 @@ void ThreadPool::parallel_for(std::size_t n,
   futures.reserve(width);
   for (std::size_t i = 0; i < width; ++i) futures.push_back(submit(body));
   for (auto& f : futures) f.get();
-  if (failed.load()) std::rethrow_exception(first_error);
+  error.rethrow_if_failed();
 }
 
 }  // namespace harmony

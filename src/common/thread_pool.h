@@ -3,6 +3,11 @@
 // concurrently (policy/level/tolerance grids); the simulations themselves stay
 // single-threaded for determinism, so there is no shared mutable state between
 // tasks (C++ Core Guidelines CP.2: avoid data races by construction).
+//
+// Locking discipline is machine-checked: every cross-thread member is
+// GUARDED_BY(mutex_) and every entry point that locks internally is
+// EXCLUDES(mutex_), so clang -Wthread-safety (see common/thread_annotations.h
+// and docs/INVARIANTS.md) proves the queue is never touched without the lock.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +18,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace harmony {
 
@@ -29,7 +36,7 @@ class ThreadPool {
 
   /// Run fn() on a worker; the returned future carries the result/exception.
   template <typename Fn, typename R = std::invoke_result_t<Fn>>
-  std::future<R> submit(Fn fn) {
+  std::future<R> submit(Fn fn) EXCLUDES(mutex_) {
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> result = task->get_future();
     enqueue([task] { (*task)(); });
@@ -38,17 +45,18 @@ class ThreadPool {
 
   /// Evaluate fn(i) for i in [0, n), blocking until all complete.
   /// Exceptions from iterations are rethrown (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mutex_);
 
  private:
-  void enqueue(std::function<void()> job);
-  void worker_loop();
+  void enqueue(std::function<void()> job) EXCLUDES(mutex_);
+  void worker_loop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> jobs_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> jobs_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /// Map fn over [0, n) with a transient pool; convenience for benches.

@@ -25,6 +25,7 @@
 // registration.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 
@@ -124,8 +125,28 @@ struct TypedEvent {
 };
 
 static_assert(sizeof(TypedEvent) == 48, "typed events must stay heap-inline");
+static_assert(offsetof(TypedEvent, u) == 16,
+              "16-byte header precedes the payload union");
 static_assert(std::is_trivially_copyable_v<TypedEvent>);
 static_assert(std::is_trivially_destructible_v<TypedEvent>);
+
+// Every payload must fit the 32-byte union and stay trivially copyable. The
+// linter's typed-lane-shape rule (tools/lint/harmony_lint.py) requires one
+// assert per payload member, so adding a payload without its assert fails
+// `ctest -L lint`; the compiler then enforces what the assert claims.
+#define HARMONY_ASSERT_PAYLOAD(member)                               \
+  static_assert(sizeof(TypedEvent::Payload::member) <= 32 &&         \
+                    std::is_trivially_copyable_v<                    \
+                        decltype(TypedEvent::Payload::member)>,      \
+                "typed-lane payload '" #member "' must stay a <=32-byte POD")
+HARMONY_ASSERT_PAYLOAD(req);
+HARMONY_ASSERT_PAYLOAD(ack);
+HARMONY_ASSERT_PAYLOAD(serve);
+HARMONY_ASSERT_PAYLOAD(served);
+HARMONY_ASSERT_PAYLOAD(resp);
+HARMONY_ASSERT_PAYLOAD(kv);
+HARMONY_ASSERT_PAYLOAD(fault);
+#undef HARMONY_ASSERT_PAYLOAD
 
 /// One dispatcher per domain, registered on the Simulation. Pure function:
 /// the event carries its own instance pointer.

@@ -20,6 +20,8 @@ std::uint32_t EventQueue::acquire_slot() {
   }
   HARMONY_CHECK_MSG(slot_count_ < kNil, "event slab full");
   if (slot_count_ == chunks_.size() << kChunkShift) {
+    // lint: allow(hot-path-alloc): slab growth is warm-up-only; steady state
+    // recycles slots through the free list (alloc_guard-pinned).
     chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
   }
   return slot_count_++;

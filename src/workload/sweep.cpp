@@ -1,13 +1,41 @@
 #include "workload/sweep.h"
 
 #include <cmath>
+#include <mutex>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace harmony::workload {
 
 namespace {
+
+/// Collects per-(cell, seed) results from sweep workers. Slots are addressed
+/// by flat index (cell * seeds + replicate) so scheduling order cannot leak
+/// into aggregation order; the mutex makes the cross-thread handoff a
+/// machine-checked contract (-Wthread-safety) and a visible happens-before
+/// edge for TSan, instead of relying on disjoint-index reasoning alone. One
+/// lock per completed simulation is noise next to the run itself.
+class ResultSink {
+ public:
+  explicit ResultSink(std::size_t n) : results_(n) {}
+
+  void put(std::size_t slot, RunResult r) EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    results_[slot] = std::move(r);
+  }
+
+  /// Steals the collected results; the sink is spent afterwards.
+  std::vector<RunResult> take() EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(results_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<RunResult> results_ GUARDED_BY(mutex_);
+};
 
 /// Two-sided Student-t 0.975 quantiles for df = 1..30; the normal quantile
 /// is within 1% beyond that.
@@ -85,14 +113,14 @@ SweepStats SweepRunner::aggregate(std::vector<RunResult> runs) {
 std::vector<SweepStats> SweepRunner::run() {
   const std::size_t seeds = opts_.seeds;
   const std::size_t total = cells_.size() * seeds;
-  std::vector<RunResult> results(total);
+  ResultSink sink(total);
 
-  // Flat index = cell * seeds + replicate; every task writes its own slot, so
-  // scheduling order cannot leak into the output.
+  // Flat index = cell * seeds + replicate: the simulation runs outside the
+  // sink's lock, and the slot write is the only shared-state touch.
   const auto run_one = [&](std::size_t flat) {
     RunConfig cfg = cells_[flat / seeds];
     cfg.seed += flat % seeds;
-    results[flat] = run_experiment(cfg);
+    sink.put(flat, run_experiment(cfg));
   };
 
   if (opts_.jobs == 1 || total <= 1) {
@@ -102,6 +130,7 @@ std::vector<SweepStats> SweepRunner::run() {
     pool.parallel_for(total, run_one);
   }
 
+  std::vector<RunResult> results = sink.take();
   std::vector<SweepStats> out;
   out.reserve(cells_.size());
   for (std::size_t c = 0; c < cells_.size(); ++c) {

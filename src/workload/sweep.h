@@ -10,6 +10,11 @@
 // and results are collected in grid order (cells in insertion order, seeds
 // ascending), so the aggregated output is byte-identical for any `jobs`
 // value — `jobs = 1` reproduces a plain serial loop over run_experiment().
+//
+// Thread safety: workers hand results to a mutex-guarded, slot-addressed
+// ResultSink (annotated for clang -Wthread-safety in sweep.cpp); aggregation
+// only starts after parallel_for joins every worker. The TSan CI job runs
+// this sweep under -fsanitize=thread (see docs/INVARIANTS.md).
 #pragma once
 
 #include <cstddef>

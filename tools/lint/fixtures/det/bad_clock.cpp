@@ -1,0 +1,25 @@
+// Known-bad fixture: every wall-clock / entropy source the
+// determinism-entropy rule must catch. Never compiled — consumed by
+// tools/lint/test_lint.py, which asserts one finding per EXPECT-LINT marker
+// and none anywhere else.
+#include <chrono>  // EXPECT-LINT: determinism-entropy
+#include <cstdlib>
+#include <random>
+
+long wall_nanos() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT-LINT: determinism-entropy
+  return t.time_since_epoch().count();
+}
+
+int entropy() {
+  std::random_device rd;  // EXPECT-LINT: determinism-entropy
+  return static_cast<int>(rd()) + rand();  // EXPECT-LINT: determinism-entropy
+}
+
+const char* env_knob() {
+  return getenv("HARMONY_SEED");  // EXPECT-LINT: determinism-entropy
+}
+
+long unix_time() {
+  return time(nullptr);  // EXPECT-LINT: determinism-entropy
+}

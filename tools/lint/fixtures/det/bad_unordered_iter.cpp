@@ -1,0 +1,21 @@
+// Known-bad fixture: iteration over unordered containers in a
+// determinism-scoped module. Declaring the containers is legal (the
+// hot-path-alloc rule polices that separately); *iterating* them is what
+// leaks implementation-defined bucket order into schedules and output.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_set<std::uint64_t> g_dirty;
+std::unordered_map<int, int> g_hints;
+
+std::uint64_t sum_keys() {
+  std::uint64_t n = 0;
+  for (const auto k : g_dirty) n += k;  // EXPECT-LINT: determinism-unordered-iter
+  return n;
+}
+
+int first_value() {
+  auto it = g_hints.begin();  // EXPECT-LINT: determinism-unordered-iter
+  return it == g_hints.end() ? 0 : it->second;
+}

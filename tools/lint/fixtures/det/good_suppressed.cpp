@@ -1,0 +1,20 @@
+// Suppression fixture: the same determinism violations as the bad files,
+// each carrying a justified allow — the linter must report nothing here.
+#include <cstdlib>
+#include <unordered_set>
+
+std::unordered_set<int> g_keys;
+
+int checked_entropy() {
+  // lint: allow(determinism-entropy): fixture demonstrating a justified
+  // suppression; this file is not part of any simulation build.
+  return rand();
+}
+
+int key_sum() {
+  int n = 0;
+  // lint: allow(determinism-unordered-iter): order-insensitive sum; no
+  // iteration order can leak into output.
+  for (const int k : g_keys) n += k;
+  return n;
+}

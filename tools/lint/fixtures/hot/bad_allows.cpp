@@ -1,0 +1,12 @@
+// Fixture for the allow meta-rules: a suppression without a justification
+// and a suppression that no longer matches anything are both findings, so
+// stale or lazy allows cannot linger in the tree.
+
+int* unjustified() {
+  // EXPECT-LINT+1: allow-needs-justification
+  // lint: allow(hot-path-alloc)
+  return new int(1);
+}
+
+// lint: allow(hot-path-alloc): stale suppression that matches nothing now.
+int plain_add(int a, int b) { return a + b; }  // EXPECT-LINT: unused-allow

@@ -1,0 +1,23 @@
+// Known-bad fixture: every steady-state allocation construct the
+// hot-path-alloc rule must catch in a manifest-listed hot file. Placement
+// new is exempt (it is how the pools construct in place).
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+
+int* heap_int() {
+  return new int(42);  // EXPECT-LINT: hot-path-alloc
+}
+
+std::unique_ptr<int> smart() {
+  return std::make_unique<int>(1);  // EXPECT-LINT: hot-path-alloc
+}
+
+std::string g_name;          // EXPECT-LINT: hot-path-alloc
+std::map<int, int> g_index;  // EXPECT-LINT: hot-path-alloc
+
+alignas(int) char g_buf[sizeof(int)];
+int* placed() {
+  return new (g_buf) int(3);  // placement new: must NOT be flagged
+}

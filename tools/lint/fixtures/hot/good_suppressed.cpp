@@ -1,0 +1,13 @@
+// Suppression fixture: hot-path allocation constructs carrying justified
+// allows — the linter must report nothing here.
+#include <memory>
+#include <string>
+
+// lint: allow(hot-path-alloc): fixture demonstrating a justified
+// suppression of a cold-path string.
+std::string g_label;
+
+int* make_buffer() {
+  // lint: allow(hot-path-alloc): warm-up growth fixture; freed by caller.
+  return new int[8];
+}

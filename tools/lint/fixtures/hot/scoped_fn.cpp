@@ -1,0 +1,12 @@
+// Fixture for function-scoped no-alloc enforcement: the manifest lists only
+// hot_fn() for this file, so identical constructs outside it are legal.
+#include <string>
+
+std::string cold_helper() {
+  return std::string("setup/reporting code may allocate freely");
+}
+
+void hot_fn() {
+  int* p = new int(7);  // EXPECT-LINT: hot-path-alloc
+  delete p;
+}

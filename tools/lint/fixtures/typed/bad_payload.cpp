@@ -1,0 +1,36 @@
+// Known-bad fixture for the typed-lane-shape rule: a payload carrying a
+// non-POD member, payloads missing their layout asserts, and a missing
+// header-offset assert. Mirrors src/sim/event.h's shape; never compiled.
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace fixture {
+
+struct TypedEvent {
+  std::uint8_t kind;
+  std::uint8_t flag;
+  std::uint16_t node;
+  std::uint32_t aux;
+  void* target;
+
+  union Payload {  // EXPECT-LINT: typed-lane-shape (missing offsetof assert)
+    struct {
+      std::uint64_t key;
+    } kv;
+    struct {
+      std::string label;  // EXPECT-LINT: typed-lane-shape
+    } bad;  // EXPECT-LINT: typed-lane-shape (no layout assert)
+    struct {
+      std::uint64_t a;
+      std::uint64_t b;
+    } wide;  // EXPECT-LINT: typed-lane-shape (no layout assert)
+    std::uint64_t raw[4];
+  } u;
+};
+
+static_assert(sizeof(TypedEvent) == 48, "event size");
+static_assert(std::is_trivially_copyable_v<TypedEvent>);
+static_assert(sizeof(TypedEvent::Payload::kv) <= 32, "kv payload");
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Good fixture for the typed-lane-shape rule: every payload has its layout
+// assert, the event/header asserts are present, and the one deliberate
+// non-POD member carries a justified suppression — zero findings expected.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace fixture {
+
+struct TypedEvent {
+  std::uint8_t kind;
+  std::uint8_t flag;
+  std::uint16_t node;
+  std::uint32_t aux;
+  void* target;
+
+  union Payload {
+    struct {
+      std::uint64_t key;
+    } kv;
+    struct {
+      // lint: allow(typed-lane-shape): fixture demonstrating a justified
+      // suppression of a non-POD payload member.
+      std::string label;
+    } text;
+    std::uint64_t raw[4];
+  } u;
+};
+
+static_assert(sizeof(TypedEvent) == 48, "event size");
+static_assert(offsetof(TypedEvent, u) == 16, "header size");
+static_assert(std::is_trivially_copyable_v<TypedEvent>);
+static_assert(sizeof(TypedEvent::Payload::kv) <= 32, "kv payload");
+static_assert(sizeof(TypedEvent::Payload::text) <= 32, "text payload");
+
+}  // namespace fixture
