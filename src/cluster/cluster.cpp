@@ -36,7 +36,8 @@ using sim::EventKind;
 using sim::TypedEvent;
 
 /// Header-only part of a cluster-domain typed event; call sites fill the
-/// payload union member their kind's handler reads.
+/// payload union member their kind's handler reads (and, under sharding, the
+/// destination `shard` / record-owner `home` bytes).
 TypedEvent cluster_event(EventKind kind, Cluster* target) {
   TypedEvent e;
   e.kind = kind;
@@ -45,13 +46,13 @@ TypedEvent cluster_event(EventKind kind, Cluster* target) {
 }
 
 /// kRepairArrive/kRepairApply/kHintDeliver: a keyed mutation headed at a
-/// node (value size rides in `aux`, version in the kv payload).
+/// node (value size and version ride in the kv payload).
 TypedEvent kv_event(EventKind kind, Cluster* target, net::NodeId node, Key key,
-                    const VersionedValue& value) {
+                    const VersionedValue& value, std::uint8_t shard) {
   TypedEvent e = cluster_event(kind, target);
-  e.node = static_cast<std::uint16_t>(node);
-  e.aux = value.size_bytes;
-  e.u.kv = {key, value.version.timestamp, value.version.seq};
+  e.node = node;
+  e.shard = shard;
+  e.u.kv = {key, value.version.timestamp, value.version.seq, value.size_bytes};
   return e;
 }
 }  // namespace
@@ -61,17 +62,51 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
       cfg_(std::move(cfg)),
       topo_(build_topology(cfg_)),
       latency_(cfg_.latency),
-      ring_(topo_, cfg_.vnodes_per_node, sim.seed() ^ 0xA5A5A5A5ULL),
-      rng_(sim.fork_rng(0xC1D2E3F4ULL)) {
+      ring_(topo_, cfg_.vnodes_per_node, sim.seed() ^ 0xA5A5A5A5ULL) {
   HARMONY_CHECK(cfg_.rf >= 1);
   HARMONY_CHECK(static_cast<std::size_t>(cfg_.rf) <= cfg_.node_count);
   HARMONY_CHECK_MSG(cfg_.rf <= kMaxReplicas, "rf exceeds kMaxReplicas");
   HARMONY_CHECK_MSG(cfg_.dc_count <= kMaxDcs, "dc_count exceeds kMaxDcs");
-  HARMONY_CHECK_MSG(cfg_.node_count <= 0xFFFF,
-                    "typed-lane events carry node ids as u16");
   sim.set_event_dispatcher(sim::EventDomain::kCluster, &Cluster::dispatch_event);
   for (const int w : cfg_.rf_per_dc()) rf_per_dc_.push_back(w);
-  replica_cache_.resize(kReplicaCacheSize);
+
+  // Per-shard request-path state. One instance when the simulation is
+  // unsharded (or sharded with a single shard — the merged-serial anchor);
+  // one per DC otherwise. Shard RNGs fork before the node RNGs below, in
+  // shard order, so a single-shard cluster replays the historical master-RNG
+  // draw sequence byte for byte.
+  const std::uint32_t shard_count = sim.shard_count();
+  deferred_ = shard_count > 1;
+  if (deferred_) {
+    HARMONY_CHECK_MSG(shard_count == cfg_.dc_count,
+                      "sharded execution partitions by DC: configure_shards "
+                      "count must equal dc_count (or 1)");
+    HARMONY_CHECK_MSG(cfg_.anti_entropy_period == 0,
+                      "anti-entropy sweeps walk every replica from one shard; "
+                      "disable them under shard_count > 1");
+    HARMONY_CHECK_MSG(cfg_.latency.cross_dc.floor >= sim.lookahead(),
+                      "conservative sharding needs every cross-DC link delay "
+                      ">= the configured lookahead (set cross_dc.floor)");
+  }
+  shards_.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    // lint: allow(hot-path-alloc): construction-time shard array; steady
+    // state only indexes it (alloc_guard pins the request path).
+    auto st = std::make_unique<ShardState>();
+    st->id = s;
+    st->rng = sim.fork_rng(0xC1D2E3F4ULL + s);
+    st->replica_cache.resize(kReplicaCacheSize);
+    if (deferred_) {
+      // Pre-grow the pools: remote shards read pinned write records through
+      // get() while the home shard acquires/releases, which is only race-free
+      // if the slab never grows mid-window (see SlotPool::reserve).
+      st->pending_writes.reserve(cfg_.sharded_slot_reserve);
+      st->pending_reads.reserve(cfg_.sharded_slot_reserve);
+    }
+    shards_.push_back(std::move(st));
+  }
+  if (deferred_) sim.set_barrier_hook(&Cluster::barrier_hook, this);
+
   if (cfg_.use_nts) {
     const auto split = cfg_.rf_per_dc();
     for (std::size_t d = 0; d < split.size(); ++d) {
@@ -98,7 +133,7 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
   if (cfg_.resilience.admission_rate > 0) {
     // Buckets start full so a run's leading edge is not spuriously shed.
     admission_.assign(cfg_.dc_count,
-                      TokenBucket{cfg_.resilience.admission_burst, 0});
+                      TokenBucket{cfg_.resilience.admission_burst, 0, {}});
   }
 }
 
@@ -116,9 +151,10 @@ const Node& Cluster::node(net::NodeId id) const {
 
 const ReplicaList& Cluster::replicas_for(Key key) const {
   // Direct-mapped cache keyed by the key's token hash; the ring walk only
-  // runs on a miss (cold key or index collision).
+  // runs on a miss (cold key or index collision). Per shard: placement is
+  // identical everywhere, but sharing one cache would race.
   ReplicaCacheEntry& e =
-      replica_cache_[TokenRing::token_for(key) & (kReplicaCacheSize - 1)];
+      here().replica_cache[TokenRing::token_for(key) & (kReplicaCacheSize - 1)];
   if (e.valid && e.key == key) return e.replicas;
   if (cfg_.use_nts) {
     ring_.replicas_nts(key, rf_per_dc_, e.replicas);
@@ -131,12 +167,18 @@ const ReplicaList& Cluster::replicas_for(Key key) const {
 }
 
 void Cluster::invalidate_replica_cache() {
-  for (ReplicaCacheEntry& e : replica_cache_) e.valid = false;
+  // Membership changes execute at fenced (merged-serial) instants, so
+  // flushing every shard's cache here is race-free.
+  for (const auto& sp : shards_) {
+    for (ReplicaCacheEntry& e : sp->replica_cache) e.valid = false;
+  }
 }
 
 void Cluster::preload_range(std::uint64_t count, std::uint32_t size) {
+  ShardState& st = here();
   for (std::uint64_t k = 0; k < count; ++k) {
-    const VersionedValue v{Version{0, ++write_seq_}, size};
+    const std::uint64_t seq = ++st.write_seq * shards_.size() + st.id;
+    const VersionedValue v{Version{0, seq}, size};
     for (const net::NodeId r : replicas_for(k)) nodes_[r]->load(k, v);
   }
 }
@@ -161,6 +203,12 @@ net::NodeId Cluster::pick_coordinator(net::DcId dc, Rng& rng) {
   };
   int c = pick_from(topo_.nodes_in_dc(dc));
   if (c >= 0) return static_cast<net::NodeId>(c);
+  // Whole-DC outage: fall back to any alive node. Coordinators must stay in
+  // the request's shard under sharded execution, so this path (like the DC
+  // blackout faults that cause it) is serial-only.
+  HARMONY_CHECK_MSG(!deferred_,
+                    "sharded execution requires an alive coordinator in the "
+                    "client's DC");
   c = pick_from(std::views::iota(
       net::NodeId{0}, static_cast<net::NodeId>(topo_.node_count())));
   HARMONY_CHECK_MSG(c >= 0, "no alive node to coordinate");
@@ -188,12 +236,12 @@ SimDuration Cluster::link_delay(net::NodeId src, net::NodeId dst, Rng& rng) {
 }
 
 void Cluster::account(net::NodeId src, net::NodeId dst, std::uint64_t bytes) {
-  net_stats_.record(net::classify(topo_, src, dst), bytes);
+  here().net_stats.record(net::classify(topo_, src, dst), bytes);
 }
 
 void Cluster::account_client(std::uint64_t bytes, bool cross_dc) {
-  net_stats_.record(cross_dc ? net::LinkClass::kCrossDc : net::LinkClass::kSameDc,
-                    bytes);
+  here().net_stats.record(
+      cross_dc ? net::LinkClass::kCrossDc : net::LinkClass::kSameDc, bytes);
 }
 
 ReplicaList Cluster::order_for_read(net::NodeId coord,
@@ -235,28 +283,41 @@ ReplicaList Cluster::order_for_read(net::NodeId coord,
 void Cluster::client_write(net::DcId client_dc, Key key, std::uint32_t size,
                            ReplicaRequirement req, WriteCallback cb,
                            net::DcId origin_dc) {
+  ShardState& st = here();
   // Acquired slots come back in default state (release resets them), so only
   // the non-default fields need touching.
-  const auto [h, w] = pending_writes_.acquire();
+  HARMONY_CHECK_MSG(!deferred_ ||
+                        st.pending_writes.live() < st.pending_writes.capacity(),
+                    "sharded_slot_reserve exhausted (pending writes)");
+  const auto [h, w] = st.pending_writes.acquire();
   w->key = key;
   w->start = sim_->now();
-  w->value = VersionedValue{Version{sim_->now(), ++write_seq_}, size};
+  // Interleaved per-shard seq streams (residue = shard id) keep write seqs
+  // unique and shard-deterministic; a single shard draws the historical
+  // 1,2,3,... stream exactly.
+  w->value = VersionedValue{
+      Version{sim_->now(), ++st.write_seq * shards_.size() + st.id}, size};
   w->client_dc = client_dc;
   w->needed = req.count;
   w->local_only = req.local_only;
   w->each_quorum = req.each_quorum;
   w->cross_origin = origin_dc != kSameOrigin && origin_dc != client_dc;
+  HARMONY_CHECK_MSG(!deferred_ || !w->cross_origin,
+                    "cross-origin (DC failover) clients would issue into a "
+                    "foreign shard; serial-only");
   w->cb = std::move(cb);
 
   account_client(cfg_.message_overhead_bytes + size, w->cross_origin);
-  const SimDuration d = client_link_delay(rng_, w->cross_origin);
+  const SimDuration d = client_link_delay(st.rng, w->cross_origin);
   TypedEvent ev = cluster_event(EventKind::kStartWrite, this);
+  ev.shard = static_cast<std::uint8_t>(st.id);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(d, ev);
 }
 
 void Cluster::start_write(WriteHandle h) {
-  PendingWrite* wp = pending_writes_.get(h);
+  ShardState& st = here();
+  PendingWrite* wp = st.pending_writes.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
 
@@ -271,6 +332,7 @@ void Cluster::start_write(WriteHandle h) {
         admission_[w.client_dc].tokens -= 1.0;
         w.admitted = true;
         TypedEvent ev = cluster_event(EventKind::kStartWrite, this);
+        ev.shard = static_cast<std::uint8_t>(st.id);
         ev.u.req.h = {h.slot, h.generation};
         sim_->schedule_event(wait, ev);
         return;
@@ -280,7 +342,7 @@ void Cluster::start_write(WriteHandle h) {
     }
   }
 
-  w.coord = pick_coordinator(w.client_dc, rng_);
+  w.coord = pick_coordinator(w.client_dc, st.rng);
   Node& coord = *nodes_[w.coord];
   const SimDuration coord_delay = coord.service(ServiceKind::kCoordinate, sim_->now());
 
@@ -314,15 +376,16 @@ void Cluster::start_write(WriteHandle h) {
     feasible = alive_total >= w.needed;
   }
   if (!feasible) {
-    ++unavailable_;
+    ++st.unavailable;
     const SimDuration back =
-        coord_delay + client_link_delay(rng_, w.cross_origin);
+        coord_delay + client_link_delay(st.rng, w.cross_origin);
     account_client(cfg_.message_overhead_bytes, w.cross_origin);
     // No timeout is armed yet, so marking the record responded parks it
     // until the typed delivery leg hands the failure to the client.
     w.responded = true;
     w.deliver_ok = false;
     TypedEvent ev = cluster_event(EventKind::kWriteDeliver, this);
+    ev.shard = static_cast<std::uint8_t>(st.id);
     ev.u.req.h = {h.slot, h.generation};
     sim_->schedule_event(back, ev);
     return;
@@ -340,76 +403,117 @@ void Cluster::start_write(WriteHandle h) {
   }
 
   // Writes go to every replica; dead targets get hints (hinted handoff).
+  // Fan-out legs execute on the replica's shard but resolve the pending
+  // record in this (home) shard's pool via the event's `home` byte.
+  const std::uint8_t home = static_cast<std::uint8_t>(st.id);
   for (const net::NodeId r : w.replicas) {
     if (!node_alive(r)) {
-      hints_.add(r, w.key, w.value);
+      st.hints.add(r, w.key, w.value);
       continue;
     }
     account(w.coord, r, cfg_.message_overhead_bytes + w.value.size_bytes);
-    const SimDuration d = coord_delay + link_delay(w.coord, r, rng_);
+    const SimDuration d = coord_delay + link_delay(w.coord, r, st.rng);
     TypedEvent ev = cluster_event(EventKind::kWriteApply, this);
-    ev.node = static_cast<std::uint16_t>(r);
+    ev.node = r;
+    ev.shard = shard_of(r);
+    ev.home = home;
     ev.u.req.h = {h.slot, h.generation};
     sim_->schedule_event(d, ev);
   }
 
   w.timeout = sim_->schedule(cfg_.request_timeout, [this, h] {
-    PendingWrite* t = pending_writes_.get(h);
+    PendingWrite* t = here().pending_writes.get(h);
     if (t == nullptr || t->responded) return;
-    ++timeouts_;
+    ++here().timeouts;
     finish_write(h, false);
   });
 }
 
-void Cluster::replica_apply_write(WriteHandle h, net::NodeId replica) {
-  PendingWrite* wp = pending_writes_.get(h);
+void Cluster::replica_apply_write(WriteHandle h, net::NodeId replica,
+                                  std::uint32_t home) {
+  // Runs on the replica's shard; the record lives in the home shard's pool.
+  // Only the pinned fields (key/value/coord/start) may be read remotely.
+  PendingWrite* wp = shards_[home]->pending_writes.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
   if (!node_alive(replica)) {
     // Died mid-flight: mutation lost (hint was only stored for known-dead
     // targets). The lifecycle still completes.
-    ++w.completed_targets;
-    if (w.completed_targets == w.alive_targets) {
-      if (observer_ != nullptr) {
-        observer_->on_write_propagated(w.key, w.start, w.delays);
+    if (!deferred_) {
+      ++w.completed_targets;
+      if (w.completed_targets == w.alive_targets) {
+        if (observer_ != nullptr) {
+          observer_->on_write_propagated(w.key, w.start, w.delays);
+        }
+        if (w.delivered) shards_[home]->pending_writes.release(h);
       }
-      if (w.delivered) pending_writes_.release(h);
+      return;
     }
+    // Sharded: completed_targets is home-side state, so the completion rides
+    // an ack-shaped event home (flag 0 = lifecycle only, no consistency
+    // credit), paced like the ack the replica would have sent.
+    const SimDuration back = link_delay(replica, w.coord, here().rng);
+    TypedEvent ev = cluster_event(EventKind::kWriteAck, this);
+    ev.node = replica;
+    ev.flag = 0;
+    ev.shard = static_cast<std::uint8_t>(home);
+    ev.home = static_cast<std::uint8_t>(home);
+    ev.u.ack = {{h.slot, h.generation}, 0};
+    sim_->schedule_event(back, ev);
     return;
   }
   const SimDuration svc = nodes_[replica]->service(ServiceKind::kWrite, sim_->now());
-  ++replica_ops_;
+  ++here().replica_ops;
   TypedEvent ev = cluster_event(EventKind::kWriteApplied, this);
-  ev.node = static_cast<std::uint16_t>(replica);
+  ev.node = replica;
+  ev.shard = shard_of(replica);
+  ev.home = static_cast<std::uint8_t>(home);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(svc, ev);
 }
 
-void Cluster::write_apply_done(WriteHandle h, net::NodeId replica) {
+void Cluster::write_apply_done(WriteHandle h, net::NodeId replica,
+                               std::uint32_t home) {
   // The pending record provably outlives every apply/ack leg: release
   // requires completed_targets == alive_targets, and this replica only
   // counts as completed once its ack (scheduled below) has run. The key,
   // value, and coordinator are therefore read from the record instead of
-  // traveling in the event.
-  PendingWrite* wp = pending_writes_.get(h);
+  // traveling in the event — remotely, they are pinned fields.
+  PendingWrite* wp = shards_[home]->pending_writes.get(h);
   if (wp == nullptr) return;
   nodes_[replica]->store().apply(wp->key, wp->value);
   const SimDuration apply_delay = sim_->now() - wp->start;
   account(replica, wp->coord, cfg_.message_overhead_bytes);
-  const SimDuration back = link_delay(replica, wp->coord, rng_);
+  const SimDuration back = link_delay(replica, wp->coord, here().rng);
   TypedEvent ev = cluster_event(EventKind::kWriteAck, this);
-  ev.node = static_cast<std::uint16_t>(replica);
+  ev.node = replica;
+  ev.flag = 1;
+  ev.shard = static_cast<std::uint8_t>(home);
+  ev.home = static_cast<std::uint8_t>(home);
   ev.u.ack = {{h.slot, h.generation}, apply_delay};
   sim_->schedule_event(back, ev);
 }
 
 void Cluster::write_ack(WriteHandle h, net::NodeId replica,
-                        SimDuration apply_delay) {
-  PendingWrite* wp = pending_writes_.get(h);
+                        SimDuration apply_delay, bool acked) {
+  // Back on the home shard: here() owns the record again.
+  ShardState& st = here();
+  PendingWrite* wp = st.pending_writes.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
 
   ++w.completed_targets;
+  if (!acked) {
+    // Lifecycle-only completion: the replica died mid-flight (see
+    // replica_apply_write's sharded path); no consistency credit.
+    if (w.completed_targets == w.alive_targets) {
+      if (observer_ != nullptr) {
+        observer_->on_write_propagated(w.key, w.start, w.delays);
+      }
+      if (w.delivered) st.pending_writes.release(h);
+    }
+    return;
+  }
   w.delays.push_back(apply_delay);
   const net::DcId dc = topo_.dc_of(replica);
   ++w.acks;
@@ -438,51 +542,56 @@ void Cluster::write_ack(WriteHandle h, net::NodeId replica,
 
   if (met && !w.responded) finish_write(h, true);
 
-  PendingWrite* w2 = pending_writes_.get(h);
+  PendingWrite* w2 = st.pending_writes.get(h);
   if (w2 == nullptr) return;
-  if (propagation_done && w2->delivered) pending_writes_.release(h);
+  if (propagation_done && w2->delivered) st.pending_writes.release(h);
 }
 
 void Cluster::finish_write(WriteHandle h, bool ok) {
-  PendingWrite* wp = pending_writes_.get(h);
+  ShardState& st = here();
+  PendingWrite* wp = st.pending_writes.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
   w.responded = true;
   w.timeout.cancel();
-  if (ok) oracle_.record_commit(w.key, w.value.version, sim_->now());
+  if (ok) oracle_commit(w.key, w.value.version);
   account_client(cfg_.message_overhead_bytes, w.cross_origin);
-  const SimDuration back = client_link_delay(rng_, w.cross_origin);
+  const SimDuration back = client_link_delay(st.rng, w.cross_origin);
   // The callback and result stay in the record (responded is set, so nothing
   // fires them again); the typed delivery leg hands them to the client and
   // releases the record — or write_ack's lifecycle bookkeeping does, when
   // propagation is still in flight at delivery time.
   w.deliver_ok = ok;
   TypedEvent ev = cluster_event(EventKind::kWriteDeliver, this);
+  ev.shard = static_cast<std::uint8_t>(st.id);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(back, ev);
 }
 
 // Admission rejection: park the record (no timeout is armed yet) and hand
-// the shed result back over the client link. Sheds are not `unavailable_` —
+// the shed result back over the client link. Sheds are not `unavailable` —
 // the replica set could serve, the coordinator chose not to ask it.
 void Cluster::write_shed(WriteHandle h, SimDuration retry_after) {
-  PendingWrite* wp = pending_writes_.get(h);
+  ShardState& st = here();
+  PendingWrite* wp = st.pending_writes.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
-  ++sheds_;
+  ++st.sheds;
   account_client(cfg_.message_overhead_bytes, w.cross_origin);
-  const SimDuration back = client_link_delay(rng_, w.cross_origin);
+  const SimDuration back = client_link_delay(st.rng, w.cross_origin);
   w.responded = true;
   w.deliver_ok = false;
   w.deliver_shed = true;
   w.deliver_retry_after = retry_after;
   TypedEvent ev = cluster_event(EventKind::kWriteDeliver, this);
+  ev.shard = static_cast<std::uint8_t>(st.id);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(back, ev);
 }
 
 void Cluster::write_deliver(WriteHandle h) {
-  PendingWrite* wp = pending_writes_.get(h);
+  ShardState& st = here();
+  PendingWrite* wp = st.pending_writes.get(h);
   if (wp == nullptr) return;
   PendingWrite& w = *wp;
   WriteCallback cb = std::move(w.cb);
@@ -495,7 +604,7 @@ void Cluster::write_deliver(WriteHandle h) {
   // Release before invoking: the callback may issue the client's next
   // operation, and the slot must be reusable by then (as it was when the
   // closure-lane delivery captured the callback and released up front).
-  if (w.completed_targets == w.alive_targets) pending_writes_.release(h);
+  if (w.completed_targets == w.alive_targets) st.pending_writes.release(h);
   cb(result);
 }
 
@@ -503,14 +612,21 @@ void Cluster::write_deliver(WriteHandle h) {
 
 void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
                           ReadCallback cb, net::DcId origin_dc) {
-  const auto [h, r] = pending_reads_.acquire();
+  ShardState& st = here();
+  HARMONY_CHECK_MSG(!deferred_ ||
+                        st.pending_reads.live() < st.pending_reads.capacity(),
+                    "sharded_slot_reserve exhausted (pending reads)");
+  const auto [h, r] = st.pending_reads.acquire();
   r->key = key;
   r->start = sim_->now();
-  oracle_.begin_read(r->start);
+  oracle_begin_read(r->start);
   r->client_dc = client_dc;
   r->needed = req.count;
   r->each_quorum = req.each_quorum;
   r->cross_origin = origin_dc != kSameOrigin && origin_dc != client_dc;
+  HARMONY_CHECK_MSG(!deferred_ || !r->cross_origin,
+                    "cross-origin (DC failover) clients would issue into a "
+                    "foreign shard; serial-only");
   r->cb = std::move(cb);
   // local_only reads restrict the contact set; encode via needed_per_dc.
   if (req.local_only) {
@@ -519,14 +635,16 @@ void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
   }
 
   account_client(cfg_.message_overhead_bytes, r->cross_origin);
-  const SimDuration d = client_link_delay(rng_, r->cross_origin);
+  const SimDuration d = client_link_delay(st.rng, r->cross_origin);
   TypedEvent ev = cluster_event(EventKind::kStartRead, this);
+  ev.shard = static_cast<std::uint8_t>(st.id);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(d, ev);
 }
 
 void Cluster::start_read(ReadHandle h) {
-  PendingRead* rp = pending_reads_.get(h);
+  ShardState& st = here();
+  PendingRead* rp = st.pending_reads.get(h);
   if (rp == nullptr) return;
   PendingRead& r = *rp;
 
@@ -539,6 +657,7 @@ void Cluster::start_read(ReadHandle h) {
         admission_[r.client_dc].tokens -= 1.0;  // pre-pay (see start_write)
         r.admitted = true;
         TypedEvent ev = cluster_event(EventKind::kStartRead, this);
+        ev.shard = static_cast<std::uint8_t>(st.id);
         ev.u.req.h = {h.slot, h.generation};
         sim_->schedule_event(wait, ev);
         return;
@@ -548,12 +667,12 @@ void Cluster::start_read(ReadHandle h) {
     }
   }
 
-  r.coord = pick_coordinator(r.client_dc, rng_);
+  r.coord = pick_coordinator(r.client_dc, st.rng);
   Node& coord = *nodes_[r.coord];
   const SimDuration coord_delay = coord.service(ServiceKind::kCoordinate, sim_->now());
 
   r.all_replicas = replicas_for(r.key);
-  const ReplicaList ordered = order_for_read(r.coord, r.all_replicas, rng_);
+  const ReplicaList ordered = order_for_read(r.coord, r.all_replicas, st.rng);
 
   const bool local_restricted = !r.needed_per_dc.empty() && !r.each_quorum;
   if (r.each_quorum) {
@@ -588,15 +707,16 @@ void Cluster::start_read(ReadHandle h) {
     }
   }
   if (!feasible || r.contacted.empty()) {
-    ++unavailable_;
+    ++st.unavailable;
     account_client(cfg_.message_overhead_bytes, r.cross_origin);
     const SimDuration back =
-        coord_delay + client_link_delay(rng_, r.cross_origin);
-    oracle_.end_read(r.start);
+        coord_delay + client_link_delay(st.rng, r.cross_origin);
+    oracle_end_read(r.start);
     // No timeout armed yet; park the record (responded) until delivery.
     r.responded = true;
     r.result = ReadResult{};
     TypedEvent ev = cluster_event(EventKind::kReadDeliver, this);
+    ev.shard = static_cast<std::uint8_t>(st.id);
     ev.u.req.h = {h.slot, h.generation};
     sim_->schedule_event(back, ev);
     return;
@@ -612,11 +732,15 @@ void Cluster::start_read(ReadHandle h) {
     const net::NodeId replica = r.contacted[i];
     const bool data_read = i == 0;  // first (closest) serves data, rest digests
     account(r.coord, replica, cfg_.message_overhead_bytes);
-    const SimDuration d = coord_delay + link_delay(r.coord, replica, rng_);
+    const SimDuration d = coord_delay + link_delay(r.coord, replica, st.rng);
+    // The serve leg may outlive the record (finish_read releases as soon as
+    // the read responds), and under sharding it may run on a shard that can
+    // never touch the record: key and coordinator travel in the event.
     TypedEvent ev = cluster_event(EventKind::kReadServe, this);
-    ev.node = static_cast<std::uint16_t>(replica);
+    ev.node = replica;
     ev.flag = data_read ? 1 : 0;
-    ev.u.serve = {{h.slot, h.generation}, sent_at};
+    ev.shard = shard_of(replica);
+    ev.u.serve = {{h.slot, h.generation}, sent_at, r.key, r.coord};
     sim_->schedule_event(d, ev);
   }
 
@@ -631,41 +755,43 @@ void Cluster::start_read(ReadHandle h) {
   if ((rc.hedge_reads || rc.read_retries > 0) && !r.each_quorum) {
     r.snitch_order = ordered;
     if (rc.hedge_reads && next_untried_replica(r) >= 0) {
-      r.hedge_timer = sim_->schedule(current_hedge_delay(),
+      r.hedge_timer = sim_->schedule(hedge_delay_of(st),
                                      [this, h] { fire_hedge(h); });
     }
   }
 }
 
 // The attempt timeout: with retries left and an untried alive replica, back
-// off and go again instead of failing; `timeouts_` counts only requests that
+// off and go again instead of failing; `timeouts` counts only requests that
 // exhaust every attempt (a request rescued later is a retry, not a timeout).
 void Cluster::read_timeout(ReadHandle h) {
-  PendingRead* rp = pending_reads_.get(h);
+  ShardState& st = here();
+  PendingRead* rp = st.pending_reads.get(h);
   if (rp == nullptr || rp->responded) return;
   PendingRead& r = *rp;
   const ResilienceConfig& rc = cfg_.resilience;
   if (r.attempts <= rc.read_retries && !r.each_quorum &&
       next_untried_replica(r) >= 0) {
-    ++retries_;
+    ++st.retries;
     const SimDuration backoff =
         rc.retry_backoff * (SimDuration{1} << (r.attempts - 1));
     r.retry_timer = sim_->schedule(backoff, [this, h] { retry_read(h); });
     return;
   }
-  ++timeouts_;
+  ++st.timeouts;
   finish_read(h, false);
 }
 
 void Cluster::retry_read(ReadHandle h) {
-  PendingRead* rp = pending_reads_.get(h);
+  ShardState& st = here();
+  PendingRead* rp = st.pending_reads.get(h);
   if (rp == nullptr || rp->responded) return;
   PendingRead& r = *rp;
   if (!node_alive(r.coord) || next_untried_replica(r) < 0) {
     // Every candidate — or the coordinator itself — died during the backoff
     // window; the request fails as a timeout (a dead coordinator's in-flight
     // state is gone with it).
-    ++timeouts_;
+    ++st.timeouts;
     finish_read(h, false);
     return;
   }
@@ -684,7 +810,8 @@ void Cluster::retry_read(ReadHandle h) {
 }
 
 void Cluster::fire_hedge(ReadHandle h) {
-  PendingRead* rp = pending_reads_.get(h);
+  ShardState& st = here();
+  PendingRead* rp = st.pending_reads.get(h);
   if (rp == nullptr || rp->responded) return;
   PendingRead& r = *rp;
   // A dead coordinator cannot send a backup leg; the attempt timeout will
@@ -692,14 +819,23 @@ void Cluster::fire_hedge(ReadHandle h) {
   if (!node_alive(r.coord)) return;
   const int cand = next_untried_replica(r);
   if (cand < 0) return;
-  ++hedges_fired_;
+  ++st.hedges_fired;
   r.hedged = true;
   r.hedge_replica = static_cast<net::NodeId>(cand);
   send_read_leg(h, r.hedge_replica);
 }
 
+// Backup-leg host reselection: among untried alive candidates, prefer the
+// closest snitch class relative to the coordinator — same-rack, then
+// same-DC, then cross-DC (Envoy's retry host-reselection predicate with a
+// snitch-class preference). Ties keep snitch-order position. With the
+// closest-first snitch the walk order is already class-sorted and the ranked
+// scan degenerates to "first untried"; under a shuffle snitch the ranking is
+// what keeps retry legs off the WAN while local candidates remain.
 int Cluster::next_untried_replica(const PendingRead& r) const {
   const bool local_restricted = !r.needed_per_dc.empty() && !r.each_quorum;
+  int best = -1;
+  int best_rank = 0;
   for (const net::NodeId n : r.snitch_order) {
     if (!node_alive(n)) continue;
     if (local_restricted && topo_.dc_of(n) != r.client_dc) continue;
@@ -707,16 +843,21 @@ int Cluster::next_untried_replica(const PendingRead& r) const {
         r.contacted.end()) {
       continue;
     }
-    return static_cast<int>(n);
+    const int rank = static_cast<int>(net::classify(topo_, r.coord, n));
+    if (best < 0 || rank < best_rank) {
+      best = static_cast<int>(n);
+      best_rank = rank;
+    }
   }
-  return -1;
+  return best;
 }
 
 // One backup data-read leg (hedge or retry). Data rather than digest: the
 // leg must be able to supply the value if the original data read is the one
 // that is slow or lost.
 void Cluster::send_read_leg(ReadHandle h, net::NodeId replica) {
-  PendingRead* rp = pending_reads_.get(h);
+  ShardState& st = here();
+  PendingRead* rp = st.pending_reads.get(h);
   if (rp == nullptr) return;
   PendingRead& r = *rp;
   r.contacted.push_back(replica);
@@ -724,29 +865,26 @@ void Cluster::send_read_leg(ReadHandle h, net::NodeId replica) {
   const SimDuration coord_delay =
       coord.service(ServiceKind::kCoordinate, sim_->now());
   account(r.coord, replica, cfg_.message_overhead_bytes);
-  const SimDuration d = coord_delay + link_delay(r.coord, replica, rng_);
+  const SimDuration d = coord_delay + link_delay(r.coord, replica, st.rng);
   TypedEvent ev = cluster_event(EventKind::kReadServe, this);
-  ev.node = static_cast<std::uint16_t>(replica);
+  ev.node = replica;
   ev.flag = 1;
-  ev.u.serve = {{h.slot, h.generation}, sim_->now() + coord_delay};
+  ev.shard = shard_of(replica);
+  ev.u.serve = {{h.slot, h.generation}, sim_->now() + coord_delay, r.key,
+                r.coord};
   sim_->schedule_event(d, ev);
 }
 
-void Cluster::observe_read_rtt(SimDuration rtt) {
-  hedge_rtt_.record(rtt);
-  const std::uint64_t c = hedge_rtt_.count();
+void Cluster::observe_read_rtt(ShardState& st, SimDuration rtt) {
+  st.hedge_rtt.record(rtt);
+  const std::uint64_t c = st.hedge_rtt.count();
   // Recompute the cached quantile every 64 samples (and once warm at 32) so
   // the percentile scan stays off the per-response path.
   if (c == 32 || (c & 63) == 0) {
-    hedge_delay_cached_ =
+    st.hedge_delay_cached =
         std::max(cfg_.resilience.hedge_min_delay,
-                 hedge_rtt_.percentile(cfg_.resilience.hedge_quantile * 100.0));
+                 st.hedge_rtt.percentile(cfg_.resilience.hedge_quantile * 100.0));
   }
-}
-
-SimDuration Cluster::current_hedge_delay() const {
-  return hedge_delay_cached_ > 0 ? hedge_delay_cached_
-                                 : cfg_.resilience.hedge_fallback_delay;
 }
 
 SimDuration Cluster::admit(net::DcId dc) {
@@ -767,44 +905,48 @@ SimDuration Cluster::admit(net::DcId dc) {
 }
 
 void Cluster::read_shed(ReadHandle h, SimDuration retry_after) {
-  PendingRead* rp = pending_reads_.get(h);
+  ShardState& st = here();
+  PendingRead* rp = st.pending_reads.get(h);
   if (rp == nullptr) return;
   PendingRead& r = *rp;
-  ++sheds_;
+  ++st.sheds;
   account_client(cfg_.message_overhead_bytes, r.cross_origin);
-  const SimDuration back = client_link_delay(rng_, r.cross_origin);
-  oracle_.end_read(r.start);
+  const SimDuration back = client_link_delay(st.rng, r.cross_origin);
+  oracle_end_read(r.start);
   // No timeout armed yet; park the record (responded) until delivery.
   r.responded = true;
   r.result = ReadResult{};
   r.result.shed = true;
   r.result.retry_after = retry_after;
   TypedEvent ev = cluster_event(EventKind::kReadDeliver, this);
+  ev.shard = static_cast<std::uint8_t>(st.id);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(back, ev);
 }
 
 void Cluster::replica_serve_read(ReadHandle h, net::NodeId replica,
-                                 bool data_read, SimTime sent_at) {
-  PendingRead* rp = pending_reads_.get(h);
-  // A responded record is only parked for its delivery leg; late serve legs
-  // must treat it exactly like the released record they used to find.
-  if (rp == nullptr || rp->responded) return;
-  PendingRead& r = *rp;
+                                 bool data_read, SimTime sent_at, Key key,
+                                 net::NodeId coord) {
+  if (!deferred_) {
+    // A responded record is only parked for its delivery leg; late serve legs
+    // must treat it exactly like the released record they used to find. Under
+    // sharding the record may live on a shard this one must not read, so the
+    // leg always serves — the response is dropped home-side instead (the
+    // store read and accounting happen either way; replica-op counts under
+    // shard_count > 1 include these late serves).
+    PendingRead* rp = shards_[0]->pending_reads.get(h);
+    if (rp == nullptr || rp->responded) return;
+  }
   if (!node_alive(replica)) return;  // no response; coordinator timeout handles it
   Node& n = *nodes_[replica];
   const SimDuration svc =
       n.service(data_read ? ServiceKind::kRead : ServiceKind::kDigest, sim_->now());
-  ++replica_ops_;
-  // Unlike the write path, the pending record may be gone by service time
-  // (finish_read releases it as soon as the read responds, while late serve
-  // legs still owe their store read and network accounting), so key and
-  // coordinator travel in the event.
+  ++here().replica_ops;
   TypedEvent ev = cluster_event(EventKind::kReadServed, this);
-  ev.node = static_cast<std::uint16_t>(replica);
+  ev.node = replica;
   ev.flag = data_read ? 1 : 0;
-  ev.aux = r.coord;
-  ev.u.served = {{h.slot, h.generation}, sent_at, r.key};
+  ev.shard = shard_of(replica);
+  ev.u.served = {{h.slot, h.generation}, sent_at, key, coord};
   sim_->schedule_event(svc, ev);
 }
 
@@ -818,24 +960,28 @@ void Cluster::read_serve_done(ReadHandle h, net::NodeId replica, Key key,
       cfg_.message_overhead_bytes +
       (data_read && found ? value.size_bytes : cfg_.digest_bytes);
   account(replica, coord, bytes);
-  const SimDuration back = link_delay(replica, coord, rng_);
+  const SimDuration back = link_delay(replica, coord, here().rng);
   TypedEvent ev = cluster_event(EventKind::kReadResponse, this);
-  ev.node = static_cast<std::uint16_t>(replica);
+  ev.node = replica;
   ev.flag = found ? 1 : 0;
-  ev.aux = value.size_bytes;
+  ev.shard = shard_of(coord);
   // rtt is fully determined here (delivery = now + back), so precompute it
   // instead of carrying sent_at one hop further.
-  ev.u.resp = {{h.slot, h.generation}, value.version.timestamp,
-               value.version.seq, sim_->now() + back - sent_at};
+  ev.u.resp = {{h.slot, h.generation},
+               value.version.timestamp,
+               value.version.seq,
+               static_cast<std::uint32_t>(sim_->now() + back - sent_at),
+               value.size_bytes};
   sim_->schedule_event(back, ev);
 }
 
 void Cluster::read_response(ReadHandle h, net::NodeId replica, bool found,
                             VersionedValue value, SimDuration rtt) {
+  ShardState& st = here();
   // Hedge-delay quantile input: every response leg counts, including late
   // ones — the slow tail is exactly what the quantile must see.
-  if (cfg_.resilience.hedge_reads) observe_read_rtt(rtt);
-  PendingRead* rp = pending_reads_.get(h);
+  if (cfg_.resilience.hedge_reads) observe_read_rtt(st, rtt);
+  PendingRead* rp = st.pending_reads.get(h);
   // Records parked for delivery (responded) count as gone, as when the
   // closure-lane delivery released them before this late response arrived.
   const bool live = rp != nullptr && !rp->responded;
@@ -872,13 +1018,14 @@ void Cluster::read_response(ReadHandle h, net::NodeId replica, bool found,
   if (met) {
     // A hedge "wins" when the backup leg is the response that completes the
     // read — the original slowest leg would have blown the latency budget.
-    if (r.hedged && replica == r.hedge_replica) ++hedge_wins_;
+    if (r.hedged && replica == r.hedge_replica) ++st.hedge_wins;
     finish_read(h, true);
   }
 }
 
 void Cluster::finish_read(ReadHandle h, bool ok) {
-  PendingRead* rp = pending_reads_.get(h);
+  ShardState& st = here();
+  PendingRead* rp = st.pending_reads.get(h);
   if (rp == nullptr) return;
   PendingRead& r = *rp;
   r.responded = true;
@@ -904,7 +1051,7 @@ void Cluster::finish_read(ReadHandle h, bool ok) {
       }
       // Global read repair: with configured chance also push to replicas we
       // did not contact (their versions are unknown; LWW makes it idempotent).
-      if (cfg_.read_repair_chance > 0 && rng_.chance(cfg_.read_repair_chance)) {
+      if (cfg_.read_repair_chance > 0 && st.rng.chance(cfg_.read_repair_chance)) {
         for (const net::NodeId n : r.all_replicas) {
           const bool contacted =
               std::find(r.contacted.begin(), r.contacted.end(), n) !=
@@ -920,43 +1067,45 @@ void Cluster::finish_read(ReadHandle h, bool ok) {
   account_client(cfg_.message_overhead_bytes +
                      (result.found ? result.value_size : 0),
                  r.cross_origin);
-  const SimDuration back = client_link_delay(rng_, r.cross_origin);
+  const SimDuration back = client_link_delay(st.rng, r.cross_origin);
   // Judge now rather than at delivery: any commit recorded between here and
   // the client callback is newer than this read's start, so the judgement is
   // the same either way — and ending the read lets the oracle fold history.
   if (result.ok) {
-    const Version returned = result.found ? result.version : kNoVersion;
-    const auto judgement = oracle_.judge(r.key, returned, r.start);
-    result.stale = judgement.stale;
-    result.staleness_age = judgement.age;
+    oracle_judge_end(r.key, result.found ? result.version : kNoVersion,
+                     r.start, &result);
+  } else {
+    oracle_end_read(r.start);
   }
-  oracle_.end_read(r.start);
   // Result and callback wait in the record for the typed delivery leg
   // (responded is set, so late responses leave them alone).
   r.result = result;
   TypedEvent ev = cluster_event(EventKind::kReadDeliver, this);
+  ev.shard = static_cast<std::uint8_t>(st.id);
   ev.u.req.h = {h.slot, h.generation};
   sim_->schedule_event(back, ev);
 }
 
 void Cluster::read_deliver(ReadHandle h) {
-  PendingRead* rp = pending_reads_.get(h);
+  ShardState& st = here();
+  PendingRead* rp = st.pending_reads.get(h);
   if (rp == nullptr) return;
   ReadCallback cb = std::move(rp->cb);
   const ReadResult result = rp->result;
   // Release before invoking: the callback may issue the client's next
   // operation (see write_deliver).
-  pending_reads_.release(h);
+  st.pending_reads.release(h);
   cb(result);
 }
 
 void Cluster::send_repair(net::NodeId coord, net::NodeId target, Key key,
                           const VersionedValue& value) {
-  ++read_repairs_;
+  ShardState& st = here();
+  ++st.read_repairs;
   account(coord, target, cfg_.message_overhead_bytes + value.size_bytes);
-  const SimDuration d = link_delay(coord, target, rng_);
+  const SimDuration d = link_delay(coord, target, st.rng);
   sim_->schedule_event(d, kv_event(EventKind::kRepairArrive, this, target, key,
-                                   value));
+                                   value, shard_of(target)));
 }
 
 void Cluster::repair_arrive(net::NodeId target, Key key,
@@ -964,14 +1113,126 @@ void Cluster::repair_arrive(net::NodeId target, Key key,
   if (!node_alive(target)) return;
   Node& n = *nodes_[target];
   const SimDuration svc = n.service(ServiceKind::kWrite, sim_->now());
-  ++replica_ops_;
+  ++here().replica_ops;
   sim_->schedule_event(svc, kv_event(EventKind::kRepairApply, this, target,
-                                     key, value));
+                                     key, value, shard_of(target)));
 }
 
 void Cluster::repair_apply(net::NodeId target, Key key,
                            const VersionedValue& value) {
   nodes_[target]->store().apply(key, value);
+}
+
+// ------------------------------------------------------------ deferred oracle
+
+// The staleness oracle is global state with monotonicity contracts, so a
+// sharded run cannot call it mid-window. Instead every oracle touch appends
+// to the executing shard's log, stamped with the event's (time, seq); the
+// window-barrier hook K-way-merges the logs in that order — which IS the
+// serial call order (per-shard logs are time-sorted by construction, and seq
+// streams are disjoint residues mod K, so cross-shard ties cannot happen).
+
+void Cluster::oracle_commit(Key key, const Version& version) {
+  if (!deferred_) {
+    oracle_.record_commit(key, version, sim_->now());
+    return;
+  }
+  // Amortized per-shard log append (vector growth), recycled by the barrier
+  // hook; sharded runs only — the alloc-pinned serial request path takes the
+  // direct call above (alloc_guard runs unsharded).
+  here().oracle_log.push_back(OracleOp{sim_->now(), sim_->current_seq(), key,
+                                       version, 0, OracleOp::Kind::kCommit});
+}
+
+void Cluster::oracle_begin_read(SimTime read_start) {
+  if (!deferred_) {
+    oracle_.begin_read(read_start);
+    return;
+  }
+  // Amortized log append; see oracle_commit.
+  here().oracle_log.push_back(OracleOp{sim_->now(), sim_->current_seq(), 0,
+                                       kNoVersion, read_start,
+                                       OracleOp::Kind::kBeginRead});
+}
+
+void Cluster::oracle_end_read(SimTime read_start) {
+  if (!deferred_) {
+    oracle_.end_read(read_start);
+    return;
+  }
+  // Amortized log append; see oracle_commit.
+  here().oracle_log.push_back(OracleOp{sim_->now(), sim_->current_seq(), 0,
+                                       kNoVersion, read_start,
+                                       OracleOp::Kind::kEndRead});
+}
+
+void Cluster::oracle_judge_end(Key key, const Version& returned,
+                               SimTime read_start, ReadResult* result) {
+  if (!deferred_) {
+    const auto judgement = oracle_.judge(key, returned, read_start);
+    result->stale = judgement.stale;
+    result->staleness_age = judgement.age;
+    oracle_.end_read(read_start);
+    return;
+  }
+  // The judgement lands at the next barrier — after this result was
+  // delivered. ReadResult.stale stays false under shard_count > 1 (a
+  // documented restriction); the oracle's aggregate counters remain exact.
+  // Amortized log append; see oracle_commit.
+  here().oracle_log.push_back(OracleOp{sim_->now(), sim_->current_seq(), key,
+                                       returned, read_start,
+                                       OracleOp::Kind::kJudgeEnd});
+}
+
+void Cluster::barrier_hook(void* ctx, SimTime safe_time) {
+  static_cast<Cluster*>(ctx)->apply_oracle_logs(safe_time);
+}
+
+void Cluster::apply_oracle_logs(SimTime safe_time) {
+  // K-way merge by (at, seq); every op dated strictly before the barrier's
+  // safe time is final on its shard (no event before safe_time remains).
+  for (;;) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const ShardState& st = *shards_[s];
+      if (st.oracle_pos >= st.oracle_log.size()) continue;
+      const OracleOp& op = st.oracle_log[st.oracle_pos];
+      if (op.at >= safe_time) continue;  // logs are time-sorted: shard done
+      if (best >= 0) {
+        // Strictly-less keeps the lowest shard on (at, seq) ties (only
+        // setup-time ops can tie across shards; they carry seq 0).
+        const ShardState& bs = *shards_[best];
+        const OracleOp& bop = bs.oracle_log[bs.oracle_pos];
+        const bool less = op.at < bop.at || (op.at == bop.at && op.seq < bop.seq);
+        if (!less) continue;
+      }
+      best = static_cast<int>(s);
+    }
+    if (best < 0) break;
+    ShardState& st = *shards_[best];
+    const OracleOp op = st.oracle_log[st.oracle_pos++];
+    switch (op.kind) {
+      case OracleOp::Kind::kCommit:
+        oracle_.record_commit(op.key, op.version, op.at);
+        break;
+      case OracleOp::Kind::kBeginRead:
+        oracle_.begin_read(op.read_start);
+        break;
+      case OracleOp::Kind::kEndRead:
+        oracle_.end_read(op.read_start);
+        break;
+      case OracleOp::Kind::kJudgeEnd:
+        oracle_.judge(op.key, op.version, op.read_start);
+        oracle_.end_read(op.read_start);
+        break;
+    }
+  }
+  for (const auto& sp : shards_) {
+    if (sp->oracle_pos == sp->oracle_log.size() && sp->oracle_pos > 0) {
+      sp->oracle_log.clear();
+      sp->oracle_pos = 0;
+    }
+  }
 }
 
 // ------------------------------------------------------------ failures
@@ -1004,10 +1265,20 @@ void Cluster::revive_dc(net::DcId dc) {
 }
 
 void Cluster::schedule_fault(const FaultSpec& f) {
+  // DC-scoped blackouts force cross-DC coordinator failover, which a sharded
+  // run cannot express (requests may not leave their shard).
+  HARMONY_CHECK_MSG(
+      !deferred_ ||
+          (f.op != FaultOp::kDcBlackout && f.op != FaultOp::kDcRestore),
+      "DC blackout faults are serial-only (coordinators must stay in the "
+      "client's DC under shard_count > 1)");
   TypedEvent ev = cluster_event(EventKind::kFault, this);
-  ev.node = static_cast<std::uint16_t>(f.node);
+  ev.node = f.node;
   ev.u.fault = {static_cast<std::uint32_t>(f.op),
                 static_cast<std::uint32_t>(f.dc), f.factor};
+  // Faults mutate cross-shard state (liveness, link multipliers); the instant
+  // becomes a fence so the action executes merged-serial. No-op unsharded.
+  sim_->register_fence(f.at);
   sim_->schedule_event_at(f.at, ev);
 }
 
@@ -1048,26 +1319,33 @@ void Cluster::refresh_links_degraded() {
 }
 
 void Cluster::replay_hints(net::NodeId target) {
-  auto hints = hints_.take(target);
-  // Paced replay: one mutation per 200us, as a hint queue drain would be.
+  // Hints are stored sender-side, so the revived node's backlog is spread
+  // over every shard's store; drain them in shard order. Revive runs at a
+  // fenced instant (or unsharded), so the cross-shard scan — and the paced
+  // sub-lookahead deliveries below — push directly into the target's queue.
   SimDuration delay = 0;
-  for (auto& h : hints) {
-    delay += usec(200);
-    account(target, target, cfg_.message_overhead_bytes + h.value.size_bytes);
-    sim_->schedule_event(delay, kv_event(EventKind::kHintDeliver, this, target,
-                                         h.key, h.value));
+  for (const auto& sp : shards_) {
+    auto hints = sp->hints.take(target);
+    // Paced replay: one mutation per 200us, as a hint queue drain would be.
+    for (auto& h : hints) {
+      delay += usec(200);
+      account(target, target, cfg_.message_overhead_bytes + h.value.size_bytes);
+      sim_->schedule_event(delay, kv_event(EventKind::kHintDeliver, this,
+                                           target, h.key, h.value,
+                                           shard_of(target)));
+    }
   }
 }
 
 void Cluster::hint_deliver(net::NodeId target, Key key,
                            const VersionedValue& value) {
   if (!node_alive(target)) {
-    hints_.add(target, key, value);  // went down again: re-hint
+    here().hints.add(target, key, value);  // went down again: re-hint
     return;
   }
   Node& n = *nodes_[target];
   n.service(ServiceKind::kWrite, sim_->now());
-  ++replica_ops_;
+  ++here().replica_ops;
   n.store().apply(key, value);
 }
 
@@ -1075,11 +1353,12 @@ void Cluster::anti_entropy_sweep() {
   // Repair the keys written since the last sweep: compare every replica's
   // stored version and push the newest to stragglers. Messaging costs are
   // charged like regular repairs (digest per replica + repair writes).
+  // Disallowed under sharding (ctor check): the sweep walks every replica.
   anti_entropy_scheduled_ = false;
   std::size_t repaired = 0;
   // lint: allow(determinism-unordered-iter): order is stdlib-dependent but
   // fixed for a given build+insertion sequence, and the diff harness pins it
-  // byte-for-byte; replace with a flat dedup ring before intra-run sharding.
+  // byte-for-byte; sharded runs reject anti-entropy outright.
   auto it = dirty_keys_.begin();
   while (it != dirty_keys_.end() &&
          repaired < cfg_.anti_entropy_keys_per_round) {
@@ -1093,7 +1372,7 @@ void Cluster::anti_entropy_sweep() {
     for (const net::NodeId r : replicas) {
       if (!nodes_[r]->alive()) continue;
       const auto v = nodes_[r]->store().read(key);
-      ++replica_ops_;
+      ++here().replica_ops;
       account(replicas.front(), r, cfg_.message_overhead_bytes + cfg_.digest_bytes);
       if (v.has_value() && v->version.newer_than(newest)) {
         newest = v->version;
@@ -1127,33 +1406,35 @@ void Cluster::dispatch_event(const sim::TypedEvent& ev) {
       c->start_write({ev.u.req.h.slot, ev.u.req.h.gen});
       break;
     case EventKind::kWriteApply:
-      c->replica_apply_write({ev.u.req.h.slot, ev.u.req.h.gen}, ev.node);
+      c->replica_apply_write({ev.u.req.h.slot, ev.u.req.h.gen}, ev.node,
+                             ev.home);
       break;
     case EventKind::kWriteApplied:
-      c->write_apply_done({ev.u.req.h.slot, ev.u.req.h.gen}, ev.node);
+      c->write_apply_done({ev.u.req.h.slot, ev.u.req.h.gen}, ev.node, ev.home);
       break;
     case EventKind::kWriteAck:
       c->write_ack({ev.u.ack.h.slot, ev.u.ack.h.gen}, ev.node,
-                   ev.u.ack.apply_delay);
+                   ev.u.ack.apply_delay, ev.flag != 0);
       break;
     case EventKind::kStartRead:
       c->start_read({ev.u.req.h.slot, ev.u.req.h.gen});
       break;
     case EventKind::kReadServe:
       c->replica_serve_read({ev.u.serve.h.slot, ev.u.serve.h.gen}, ev.node,
-                            ev.flag != 0, ev.u.serve.sent_at);
+                            ev.flag != 0, ev.u.serve.sent_at, ev.u.serve.key,
+                            ev.u.serve.coord);
       break;
     case EventKind::kReadServed:
       c->read_serve_done({ev.u.served.h.slot, ev.u.served.h.gen}, ev.node,
-                         ev.u.served.key, ev.aux, ev.flag != 0,
+                         ev.u.served.key, ev.u.served.coord, ev.flag != 0,
                          ev.u.served.sent_at);
       break;
     case EventKind::kReadResponse:
       c->read_response(
           {ev.u.resp.h.slot, ev.u.resp.h.gen}, ev.node, ev.flag != 0,
           VersionedValue{Version{ev.u.resp.version_ts, ev.u.resp.version_seq},
-                         ev.aux},
-          ev.u.resp.rtt);
+                         ev.u.resp.size},
+          static_cast<SimDuration>(ev.u.resp.rtt_us));
       break;
     case EventKind::kWriteDeliver:
       c->write_deliver({ev.u.req.h.slot, ev.u.req.h.gen});
@@ -1165,19 +1446,19 @@ void Cluster::dispatch_event(const sim::TypedEvent& ev) {
       c->repair_arrive(
           ev.node, ev.u.kv.key,
           VersionedValue{Version{ev.u.kv.version_ts, ev.u.kv.version_seq},
-                         ev.aux});
+                         ev.u.kv.size});
       break;
     case EventKind::kRepairApply:
       c->repair_apply(
           ev.node, ev.u.kv.key,
           VersionedValue{Version{ev.u.kv.version_ts, ev.u.kv.version_seq},
-                         ev.aux});
+                         ev.u.kv.size});
       break;
     case EventKind::kHintDeliver:
       c->hint_deliver(
           ev.node, ev.u.kv.key,
           VersionedValue{Version{ev.u.kv.version_ts, ev.u.kv.version_seq},
-                         ev.aux});
+                         ev.u.kv.size});
       break;
     case EventKind::kAntiEntropySweep:
       c->anti_entropy_sweep();

@@ -21,8 +21,9 @@
 //     protection / Envoy's request hedging). Late legs are suppressed by the
 //     existing slot-pool generation checks.
 //   * coordinator read retry — an attempt timeout retries against replicas
-//     excluding every previously-tried host (Envoy's retry host-reselection
-//     predicate), with exponential backoff on the cancellable closure lane.
+//     excluding every previously-tried host, ranked same-rack -> same-DC ->
+//     cross-DC (Envoy's retry host-reselection predicate plus a snitch-class
+//     preference), with exponential backoff on the cancellable closure lane.
 //     Writes never retry: a write already fans out to ALL replicas, so the
 //     untried-host set is empty by construction — hinted handoff and read
 //     repair are the write path's resilience mechanisms.
@@ -31,6 +32,28 @@
 //   * scripted fault injection — FaultSpec actions (node kill/revive,
 //     whole-DC blackout, per-node / WAN latency degradation windows) ride
 //     the typed event lane, so every fault scenario is seed-reproducible.
+//
+// Sharded execution (docs/INVARIANTS.md "Cross-shard determinism"): when the
+// owning Simulation is partitioned into per-DC event shards
+// (sim.configure_shards with shard_count == dc_count), the cluster routes
+// every typed event to the shard owning the state its handler touches and
+// keeps ALL mutable request-path state per shard (ShardState below): RNG
+// stream, pending-request pools, hint store, replica cache, net/latency
+// stats, counters. Cross-shard interaction happens only through scheduled
+// events whose delay is at least the configured lookahead (the cross-DC
+// latency floor), plus two carefully-fenced exceptions:
+//   * write legs executing on a replica's shard read the *pinned* fields of
+//     the home shard's pending record (key/value/coord/start — written before
+//     fan-out, immutable until every leg completed; pools are pre-grown so
+//     the slab never moves under a reader);
+//   * the ground-truth staleness oracle is global, so sharded runs append
+//     per-shard op logs that the window-barrier hook merges by (time, seq) —
+//     exactly the serial call order. ReadResult.stale is not populated under
+//     shard_count > 1 (the judgement may not have been applied yet when the
+//     client callback fires); aggregate oracle counters remain exact.
+// Restrictions under shard_count > 1, each enforced by a contract check:
+// coordinators stay in the client's DC (no cross-DC failover re-routing, no
+// DC blackout faults), anti-entropy off, no observer, degrade factors >= 1.
 #pragma once
 
 #include <cstdint>
@@ -93,7 +116,9 @@ enum class FaultOp : std::uint8_t {
 
 /// One deterministic fault-schedule entry. Rides the typed event lane
 /// (sim::EventKind::kFault), so fault timing interleaves with request traffic
-/// in exact (time, seq) order and every scenario is seed-reproducible.
+/// in exact (time, seq) order and every scenario is seed-reproducible. Under
+/// sharded execution every fault instant is a fence: the executor runs it
+/// merged-serial, so the cross-shard state mutation is safe and ordered.
 struct FaultSpec {
   SimTime at = 0;
   FaultOp op = FaultOp::kKillNode;
@@ -161,9 +186,18 @@ struct ClusterConfig {
   /// Anti-entropy: every period, repair the keys written since the last
   /// sweep (digest reads on every replica, then LWW repair of stale ones).
   /// 0 disables (read repair + hints remain the only convergence paths).
+  /// Must stay 0 under sharded execution (the sweep walks every replica from
+  /// one shard).
   SimDuration anti_entropy_period = 0;
   /// Cap on keys repaired per sweep (bounds repair burst size).
   std::size_t anti_entropy_keys_per_round = 512;
+
+  /// Sharded execution: per-shard pending-request pools are pre-grown to
+  /// this many slots at construction, so remote shards reading pinned write
+  /// records never race pool growth (the slab never moves). Exhausting the
+  /// reserve is a loud contract failure — raise it for extreme in-flight
+  /// request counts.
+  std::uint32_t sharded_slot_reserve = 4096;
 
   /// Hedging / retry / admission knobs (all off by default).
   ResilienceConfig resilience{};
@@ -181,7 +215,10 @@ struct ReadResult {
   Version version = kNoVersion;
   std::uint32_t value_size = 0;
   int replicas_contacted = 0;
-  bool stale = false;            ///< oracle ground truth
+  /// Oracle ground truth. Only populated when shard_count == 1: a sharded
+  /// run applies the merged oracle log at window barriers, which may be
+  /// after this result was delivered. Aggregate counters stay exact.
+  bool stale = false;
   SimDuration staleness_age = 0; ///< oracle ground truth (0 when fresh)
   SimDuration retry_after = 0;   ///< when shed: earliest useful re-issue delay
 };
@@ -238,7 +275,9 @@ class Cluster {
   /// True while at least one node in `dc` is alive (client re-routing poll).
   bool dc_alive(net::DcId dc) const { return alive_per_dc_[dc] > 0; }
 
-  /// Schedule one scripted fault action on the typed event lane.
+  /// Schedule one scripted fault action on the typed event lane. Under
+  /// sharded execution the instant is registered as a fence (the action
+  /// mutates cross-shard state), so call before the run starts.
   void schedule_fault(const FaultSpec& f);
 
   // ---- introspection -----------------------------------------------------
@@ -247,8 +286,31 @@ class Cluster {
   const TokenRing& ring() const { return ring_; }
   StalenessOracle& oracle() { return oracle_; }
   const StalenessOracle& oracle() const { return oracle_; }
-  const net::NetStats& net_stats() const { return net_stats_; }
-  const HintStore& hints() const { return hints_; }
+  /// Network traffic summed over all shards (merged into a cached copy; the
+  /// reference is valid until the next call).
+  const net::NetStats& net_stats() const {
+    net_stats_merged_.reset();
+    for (const auto& s : shards_) net_stats_merged_.merge(s->net_stats);
+    return net_stats_merged_;
+  }
+  /// Shard 0's hint store (the only one when unsharded). Sharded runs keep
+  /// one sender-side store per shard; use the summed accessors below.
+  const HintStore& hints() const { return shards_[0]->hints; }
+  std::uint64_t hints_stored() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->hints.stored();
+    return n;
+  }
+  std::uint64_t hints_replayed() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->hints.replayed();
+    return n;
+  }
+  std::size_t hints_pending_total() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->hints.pending_total();
+    return n;
+  }
   Node& node(net::NodeId id);
   const Node& node(net::NodeId id) const;
 
@@ -256,32 +318,46 @@ class Cluster {
   /// direct-mapped cache: placement is static while membership is static, so
   /// hot keys skip the ring walk entirely. The reference is valid until the
   /// next replicas_for call (callers on the request path copy the 40-byte
-  /// list into their pending state).
+  /// list into their pending state). Sharded runs keep one cache per shard.
   const ReplicaList& replicas_for(Key key) const;
+
+  /// Event shards the cluster routes across (1 unless the owning simulation
+  /// was configured with per-DC shards).
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
 
   std::uint64_t storage_bytes() const;
   /// Replica-level storage operations served (reads+digests+writes).
-  std::uint64_t replica_ops() const { return replica_ops_; }
+  std::uint64_t replica_ops() const { return sum(&ShardState::replica_ops); }
   /// Billed block-device I/O requests across all nodes (cache-miss reads and
   /// amortized commit-log flushes; memtable hits are free).
   double disk_io() const;
   SimDuration total_busy_time() const;
   /// Requests that exhausted every attempt without meeting their requirement.
   /// A request rescued by a retry or hedge is NOT counted here.
-  std::uint64_t timeouts() const { return timeouts_; }
-  std::uint64_t unavailable() const { return unavailable_; }
-  std::uint64_t retries() const { return retries_; }
-  std::uint64_t hedges_fired() const { return hedges_fired_; }
+  std::uint64_t timeouts() const { return sum(&ShardState::timeouts); }
+  std::uint64_t unavailable() const { return sum(&ShardState::unavailable); }
+  std::uint64_t retries() const { return sum(&ShardState::retries); }
+  std::uint64_t hedges_fired() const { return sum(&ShardState::hedges_fired); }
   /// Hedge legs whose response completed the read (the hedge paid off).
-  std::uint64_t hedge_wins() const { return hedge_wins_; }
-  std::uint64_t sheds() const { return sheds_; }
+  std::uint64_t hedge_wins() const { return sum(&ShardState::hedge_wins); }
+  std::uint64_t sheds() const { return sum(&ShardState::sheds); }
   /// Current hedge delay (fallback until enough RTT samples accumulate).
-  SimDuration current_hedge_delay() const;
-  std::uint64_t read_repairs_sent() const { return read_repairs_; }
+  /// Shard 0's view — each shard tracks its own RTT quantile when sharded.
+  SimDuration current_hedge_delay() const { return hedge_delay_of(*shards_[0]); }
+  std::uint64_t read_repairs_sent() const {
+    return sum(&ShardState::read_repairs);
+  }
   std::uint64_t anti_entropy_repairs() const { return anti_entropy_repairs_; }
   std::size_t anti_entropy_backlog() const { return dirty_keys_.size(); }
 
-  void set_observer(ClusterObserver* observer) { observer_ = observer; }
+  void set_observer(ClusterObserver* observer) {
+    HARMONY_CHECK_MSG(observer == nullptr || !deferred_,
+                      "observers are not supported under shard_count > 1 "
+                      "(callbacks would see cross-shard state mid-window)");
+    observer_ = observer;
+  }
 
   sim::Simulation& simulation() { return *sim_; }
 
@@ -306,6 +382,13 @@ class Cluster {
   // POD event). reset_for_reuse() is the SlotPool recycling hook — cheaper
   // than assigning a default-constructed temporary, which the release fast
   // path would otherwise pay per request.
+  //
+  // Sharded execution: a pending record lives in its *home* shard's pool (the
+  // coordinator's DC). Write fan-out legs executing on other shards resolve
+  // the pool through the event's `home` byte and read only the pinned fields
+  // (key/value/coord/start — written before fan-out, stable until every leg
+  // completed); everything else is home-side only. Read legs never touch the
+  // record remotely: the serve payload carries key and coordinator instead.
   struct PendingWrite {
     Key key{};
     VersionedValue value{};
@@ -426,6 +509,83 @@ class Cluster {
   using WriteHandle = SlotPool<PendingWrite>::Handle;
   using ReadHandle = SlotPool<PendingRead>::Handle;
 
+  // Key -> replica set cache (direct-mapped, power-of-two). Placement depends
+  // only on the ring, so entries stay valid until membership events; kill()/
+  // revive() flush it anyway out of caution. Sized so conflict misses stay
+  // rare for zipfian working sets of tens of thousands of hot keys (~900KB;
+  // a miss is a full ring walk, ~two orders of magnitude dearer).
+  struct ReplicaCacheEntry {
+    Key key = 0;
+    bool valid = false;
+    ReplicaList replicas;
+  };
+  static constexpr std::size_t kReplicaCacheSize = 16384;
+
+  /// One deferred staleness-oracle call (shard_count > 1 only). Per-shard
+  /// logs are appended in that shard's execution order; the barrier hook
+  /// K-way-merges them by (at, seq) — the exact serial call order, which is
+  /// what the oracle's monotonicity contracts require.
+  struct OracleOp {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    Key key = 0;
+    Version version = kNoVersion;  ///< committed / returned version
+    SimTime read_start = 0;
+    enum class Kind : std::uint8_t {
+      kCommit,    ///< record_commit(key, version, at)
+      kBeginRead, ///< begin_read(read_start)
+      kEndRead,   ///< end_read(read_start) — failed/shed reads
+      kJudgeEnd,  ///< judge(key, version, read_start) then end_read
+    };
+    Kind kind = Kind::kCommit;
+  };
+
+  /// Everything the request path mutates, one instance per event shard (a
+  /// single instance when unsharded — shard 0's RNG stream and slot order
+  /// are byte-identical to the historical flat members). Each instance is
+  /// owned by its shard's worker during a window; heap-separate allocations
+  /// keep shards off each other's cache lines.
+  struct ShardState {
+    Rng rng;  ///< coordinator choice, snitch shuffles, link jitter
+    std::uint32_t id = 0;
+    std::uint64_t write_seq = 0;
+    std::uint64_t replica_ops = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t unavailable = 0;
+    std::uint64_t read_repairs = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t hedges_fired = 0;
+    std::uint64_t hedge_wins = 0;
+    std::uint64_t sheds = 0;
+    /// Replica read RTTs feeding the hedge-delay quantile; sampled only
+    /// while hedging is enabled. The cached delay is recomputed every 64
+    /// samples so the percentile scan stays off the per-response path.
+    LatencyHistogram hedge_rtt;
+    SimDuration hedge_delay_cached = 0;  ///< 0: use the fallback delay
+    HintStore hints;  ///< sender-side: hints this shard's coordinators hold
+    net::NetStats net_stats;
+    SlotPool<PendingWrite> pending_writes;
+    SlotPool<PendingRead> pending_reads;
+    std::vector<ReplicaCacheEntry> replica_cache;
+    std::vector<OracleOp> oracle_log;  ///< deferred mode only
+    std::size_t oracle_pos = 0;        ///< merge cursor into oracle_log
+  };
+
+  /// The shard state this thread is currently executing against: the
+  /// dispatching shard's inside an event, shard 0 (or the setup shard) at
+  /// setup time, the single instance when unsharded.
+  ShardState& here() const { return *shards_[sim_->current_shard()]; }
+  /// The shard owning a node's state: its DC under per-DC sharding, 0
+  /// otherwise.
+  std::uint8_t shard_of(net::NodeId n) const {
+    return deferred_ ? static_cast<std::uint8_t>(topo_.dc_of(n)) : 0;
+  }
+  std::uint64_t sum(std::uint64_t ShardState::* m) const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += (*s).*m;
+    return n;
+  }
+
   net::NodeId pick_coordinator(net::DcId dc, Rng& rng);
   SimDuration client_link_delay(Rng& rng, bool cross_dc = false);
   SimDuration link_delay(net::NodeId src, net::NodeId dst, Rng& rng);
@@ -437,16 +597,21 @@ class Cluster {
                              Rng& rng) const;
 
   void start_write(WriteHandle h);
-  void replica_apply_write(WriteHandle h, net::NodeId replica);
-  void write_apply_done(WriteHandle h, net::NodeId replica);
-  void write_ack(WriteHandle h, net::NodeId replica, SimDuration apply_delay);
+  void replica_apply_write(WriteHandle h, net::NodeId replica,
+                           std::uint32_t home);
+  void write_apply_done(WriteHandle h, net::NodeId replica, std::uint32_t home);
+  /// `acked` distinguishes a replica ack (counts toward the consistency
+  /// level) from a completion-only leg (replica died mid-flight; sharded
+  /// runs route the lifecycle bookkeeping home as an event).
+  void write_ack(WriteHandle h, net::NodeId replica, SimDuration apply_delay,
+                 bool acked);
   void finish_write(WriteHandle h, bool ok);
   void write_deliver(WriteHandle h);
   void read_deliver(ReadHandle h);
 
   void start_read(ReadHandle h);
   void replica_serve_read(ReadHandle h, net::NodeId replica, bool data_read,
-                          SimTime sent_at);
+                          SimTime sent_at, Key key, net::NodeId coord);
   void read_serve_done(ReadHandle h, net::NodeId replica, Key key,
                        net::NodeId coord, bool data_read, SimTime sent_at);
   void read_response(ReadHandle h, net::NodeId replica, bool found,
@@ -454,15 +619,21 @@ class Cluster {
   void finish_read(ReadHandle h, bool ok);
 
   // ---- resilience helpers ------------------------------------------------
-  /// Next snitch-ranked alive replica not yet contacted (honouring the
-  /// local-DC restriction); -1 when exhausted.
+  /// Best untried alive replica for a hedge/retry leg: snitch-class ranked
+  /// (same-rack, then same-DC, then cross-DC relative to the coordinator),
+  /// ties broken by earlier snitch position; -1 when exhausted. Honours the
+  /// local-DC restriction.
   int next_untried_replica(const PendingRead& r) const;
   /// Send one data-read leg of attempt `h` to `replica` (hedge/retry legs).
   void send_read_leg(ReadHandle h, net::NodeId replica);
   void fire_hedge(ReadHandle h);
   void read_timeout(ReadHandle h);
   void retry_read(ReadHandle h);
-  void observe_read_rtt(SimDuration rtt);
+  void observe_read_rtt(ShardState& st, SimDuration rtt);
+  SimDuration hedge_delay_of(const ShardState& st) const {
+    return st.hedge_delay_cached > 0 ? st.hedge_delay_cached
+                                     : cfg_.resilience.hedge_fallback_delay;
+  }
   /// Token-bucket check for one request in `dc`. Returns 0 when admitted
   /// (one token consumed); otherwise the retry-after the shed should carry.
   SimDuration admit(net::DcId dc);
@@ -480,6 +651,19 @@ class Cluster {
   void replay_hints(net::NodeId target);
   void anti_entropy_sweep();
 
+  // ---- deferred oracle (shard_count > 1) ---------------------------------
+  void oracle_commit(Key key, const Version& version);
+  void oracle_begin_read(SimTime read_start);
+  void oracle_end_read(SimTime read_start);
+  /// Judge + end for a completed read. Unsharded: judges inline and fills
+  /// result->stale / staleness_age. Sharded: defers (result stays fresh).
+  void oracle_judge_end(Key key, const Version& returned, SimTime read_start,
+                        ReadResult* result);
+  /// Window-barrier hook: merge per-shard logs by (at, seq) and apply every
+  /// op dated strictly before `safe_time` to the global oracle.
+  static void barrier_hook(void* ctx, SimTime safe_time);
+  void apply_oracle_logs(SimTime safe_time);
+
   sim::Simulation* sim_;
   ClusterConfig cfg_;
   net::Topology topo_;
@@ -487,76 +671,54 @@ class Cluster {
   TokenRing ring_;
   std::vector<std::unique_ptr<Node>> nodes_;
   StalenessOracle oracle_;
-  HintStore hints_;
-  net::NetStats net_stats_;
   ClusterObserver* observer_ = nullptr;
 
-  Rng rng_;               // coordinator choice, snitch shuffles, link jitter
   DcCounts rf_per_dc_;    // cfg_.rf_per_dc(), computed once
 
-  // Key -> replica set cache (direct-mapped, power-of-two). Placement depends
-  // only on the ring, so entries stay valid until membership events; kill()/
-  // revive() flush it anyway out of caution. Sized so conflict misses stay
-  // rare for zipfian working sets of tens of thousands of hot keys (~900KB;
-  // a miss is a full ring walk, ~two orders of magnitude dearer).
-  struct ReplicaCacheEntry {
-    Key key = 0;
-    bool valid = false;
-    ReplicaList replicas;
-  };
-  static constexpr std::size_t kReplicaCacheSize = 16384;
-  mutable std::vector<ReplicaCacheEntry> replica_cache_;
+  /// Per-shard request-path state; size sim.shard_count() (1 unsharded).
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// True when shard_count > 1: oracle calls defer to per-shard logs, write
+  /// lifecycle legs route home as events, pools are pre-grown, and the
+  /// sharded-restriction contract checks are armed.
+  bool deferred_ = false;
+  mutable net::NetStats net_stats_merged_;
+
   void invalidate_replica_cache();
 
   /// alive()-flags mirrored out of the Node objects: the request path scans
   /// liveness constantly (coordinator picks, feasibility, contact sets), and
   /// a contiguous byte array beats a unique_ptr chase per node. kill_node/
-  /// revive_node keep it in sync.
+  /// revive_node keep it in sync. Read by every shard, mutated only at
+  /// fenced fault instants (merged-serial execution).
   std::vector<std::uint8_t> alive_;
   bool node_alive(net::NodeId id) const { return alive_[id] != 0; }
   /// Alive-node count per DC, kept in sync by kill_node/revive_node; feeds
   /// dc_alive() so clients can poll failover state in O(1).
   DcCounts alive_per_dc_;
 
-  std::uint64_t write_seq_ = 0;
-  std::uint64_t replica_ops_ = 0;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t unavailable_ = 0;
-  std::uint64_t read_repairs_ = 0;
   std::uint64_t anti_entropy_repairs_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t hedges_fired_ = 0;
-  std::uint64_t hedge_wins_ = 0;
-  std::uint64_t sheds_ = 0;
 
-  // ---- resilience state --------------------------------------------------
-  /// Replica read RTTs feeding the hedge-delay quantile; sampled only while
-  /// hedging is enabled. The cached delay is recomputed every 64 samples so
-  /// the percentile scan stays off the per-response path.
-  LatencyHistogram hedge_rtt_;
-  SimDuration hedge_delay_cached_ = 0;  ///< 0: use the fallback delay
-
-  /// Per-DC admission token buckets (lazy refill on access).
+  /// Per-DC admission token buckets (lazy refill on access). Padded to a
+  /// cache line: under per-DC sharding, bucket d is touched only by shard d.
   struct TokenBucket {
     double tokens = 0;
     SimTime last = 0;
+    char pad_[48] = {};
   };
   SmallVec<TokenBucket, kMaxDcs> admission_;
 
   /// Per-node link-latency multipliers and the WAN-wide multiplier from
   /// degradation faults. `links_degraded_` gates the multiply so the healthy
-  /// path never pays it (and stays byte-identical).
+  /// path never pays it (and stays byte-identical). Mutated only at fenced
+  /// fault instants.
   std::vector<double> latency_mult_;
   double wan_mult_ = 1.0;
   bool links_degraded_ = false;
   void refresh_links_degraded();
 
-  SlotPool<PendingWrite> pending_writes_;
-  SlotPool<PendingRead> pending_reads_;
-
   // Anti-entropy state: keys mutated since the last sweep. The sweep is
   // scheduled lazily (only while dirty keys exist) so an idle cluster's
-  // event queue drains.
+  // event queue drains. Disallowed under sharding (see ClusterConfig).
   // lint: allow(hot-path-alloc): touched only by the periodic anti-entropy
   // sweep, not the request path; alloc_guard keeps that claim honest.
   std::unordered_set<Key> dirty_keys_;

@@ -26,7 +26,15 @@ namespace harmony::cluster {
 /// Upper bounds baked into the inline request-path containers. The paper's
 /// deployments use rf 3–5 over 2 DCs; 8 leaves headroom while keeping pending
 /// request state pocket-sized. Exceeding either fails a loud contract check.
-inline constexpr int kMaxReplicas = 8;
+/// Builds that need wider replica sets (geo deployments with many DCs) can
+/// raise the bound: -DHARMONY_MAX_REPLICAS=<n> (CMake option of the same
+/// name) resizes every inline request-path container in one place.
+#ifndef HARMONY_MAX_REPLICAS
+#define HARMONY_MAX_REPLICAS 8
+#endif
+inline constexpr int kMaxReplicas = HARMONY_MAX_REPLICAS;
+static_assert(kMaxReplicas >= 2 && kMaxReplicas <= 64,
+              "HARMONY_MAX_REPLICAS out of range");
 inline constexpr std::size_t kMaxDcs = 8;
 
 using ReplicaList = SmallVec<net::NodeId, kMaxReplicas>;

@@ -1,5 +1,6 @@
 #include "net/latency_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace harmony::net {
@@ -19,7 +20,7 @@ SimDuration TieredLatencyModel::sample(const Topology& topo, NodeId src,
                                        NodeId dst, Rng& rng) const {
   const LatencyTier& t = tier(topo, src, dst);
   const double v = rng.lognormal_median(static_cast<double>(t.base), t.sigma);
-  return static_cast<SimDuration>(v);
+  return std::max(t.floor, static_cast<SimDuration>(v));
 }
 
 SimDuration TieredLatencyModel::mean(const Topology& topo, NodeId src,

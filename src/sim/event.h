@@ -23,6 +23,11 @@
 // event's `target` pointer names the instance (a Cluster*, a Client*, ...),
 // so one simulation can host many dispatch targets with zero per-event
 // registration.
+//
+// Sharded execution: `shard` names the event shard the event must execute on
+// (see sim/shard.h — per-DC shards under conservative lookahead windows).
+// Schedule sites set it to the shard owning the state the handler touches;
+// in unsharded simulations it stays 0 and is ignored.
 #pragma once
 
 #include <cstddef>
@@ -71,15 +76,17 @@ constexpr std::size_t event_domain_index(EventKind kind) {
 }
 
 /// Tagged-union POD event, 48 bytes: 16-byte header + 32-byte payload. Node
-/// ids travel as u16 (Cluster checks node_count fits at construction); the
+/// ids travel as full u32 net::NodeIds (million-node topologies fit); the
 /// payload union member is chosen by `kind` — schedule sites write exactly
 /// the fields their handler reads.
 struct TypedEvent {
   EventKind kind = EventKind::kClosure;
-  std::uint8_t flag = 0;    ///< data_read / found
-  std::uint16_t node = 0;   ///< replica or repair/hint target node
-  std::uint32_t aux = 0;    ///< coordinator node / value size, per kind
-  void* target = nullptr;   ///< dispatch instance (Cluster*, Client*, ...)
+  std::uint8_t flag = 0;      ///< data_read / found
+  std::uint8_t shard = 0;     ///< destination event shard (0 when unsharded)
+  std::uint8_t home = 0;      ///< shard owning the pending record (write legs
+                              ///< resolve their coordinator's slot pool by it)
+  std::uint32_t node = 0;     ///< replica or repair/hint target node
+  void* target = nullptr;     ///< dispatch instance (Cluster*, Client*, ...)
 
   /// Mirror of SlotPool<>::Handle (kept layout-compatible by value).
   struct Req {
@@ -98,23 +105,29 @@ struct TypedEvent {
     struct {
       Req h;
       SimTime sent_at;
-    } serve;  ///< kReadServe (node=replica, flag=data_read)
+      std::uint64_t key;
+      std::uint32_t coord;
+    } serve;  ///< kReadServe (node=replica, flag=data_read); key/coord ride
+              ///< along so remote shards never touch the pending record
     struct {
       Req h;
       SimTime sent_at;
       std::uint64_t key;
-    } served;  ///< kReadServed (node=replica, aux=coordinator, flag=data_read)
+      std::uint32_t coord;
+    } served;  ///< kReadServed (node=replica, flag=data_read)
     struct {
       Req h;
       SimTime version_ts;
       std::uint64_t version_seq;
-      SimDuration rtt;
-    } resp;  ///< kReadResponse (node=replica, flag=found, aux=value size)
+      std::uint32_t rtt_us;  ///< replica round trip, µs (SimTime is µs-grain)
+      std::uint32_t size;    ///< value size in bytes
+    } resp;  ///< kReadResponse (node=replica, flag=found)
     struct {
       std::uint64_t key;
       SimTime version_ts;
       std::uint64_t version_seq;
-    } kv;  ///< kRepairArrive/kRepairApply/kHintDeliver (node=target, aux=size)
+      std::uint32_t size;  ///< value size in bytes
+    } kv;  ///< kRepairArrive/kRepairApply/kHintDeliver (node=target)
     struct {
       std::uint32_t op;    ///< cluster::FaultOp, widened for the POD union
       std::uint32_t dc;    ///< target DC for blackout/restore ops

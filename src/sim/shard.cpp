@@ -1,0 +1,234 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+
+#include "sim/simulation.h"
+
+namespace harmony::sim {
+
+namespace {
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+SimTime saturating_add(SimTime t, SimDuration d) {
+  return (t > kNever - d) ? kNever : t + d;
+}
+
+}  // namespace
+
+ShardSet::ShardSet(Simulation& sim, std::uint32_t count, SimDuration lookahead,
+                   unsigned num_threads, std::uint32_t mailbox_capacity)
+    : sim_(sim), lookahead_(lookahead), num_threads_(num_threads) {
+  HARMONY_CHECK(count >= 1 && count <= 255);  // TypedEvent::shard is a u8
+  HARMONY_CHECK_MSG(lookahead > 0, "conservative lookahead must be positive");
+  HARMONY_CHECK(num_threads >= 1);
+  shards_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // lint: allow(hot-path-alloc): construction-time shard array; the run
+    // loop only indexes it.
+    auto sh = std::make_unique<Shard>();
+    sh->id = i;
+    // Interleaved streams: shard i draws seqs i, i+K, i+2K, ... With K == 1
+    // this is the plain (0, 1) stream of the unsharded kernel.
+    sh->queue.set_seq_stream(i, count);
+    shards_.push_back(std::move(sh));
+  }
+  mailboxes_.resize(static_cast<std::size_t>(count) * count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    for (std::uint32_t d = 0; d < count; ++d) {
+      if (s != d) mailbox(s, d).configure(mailbox_capacity);
+    }
+  }
+}
+
+void ShardSet::register_fence(SimTime t) {
+  HARMONY_CHECK_MSG(!parallel_phase_,
+                    "fences cannot be registered from inside a window");
+  fences_.insert(std::lower_bound(fences_.begin(), fences_.end(), t), t);
+}
+
+bool ShardSet::peek_global(SimTime& when, std::uint64_t& seq,
+                           std::uint32_t& which) const {
+  bool any = false;
+  for (const auto& sh : shards_) {
+    SimTime w;
+    std::uint64_t s;
+    if (!sh->queue.peek_next(w, s)) continue;
+    if (!any || w < when || (w == when && s < seq)) {
+      when = w;
+      seq = s;
+      which = sh->id;
+      any = true;
+    }
+  }
+  return any;
+}
+
+namespace {
+/// Scoped "this thread is executing shard s" marker; Simulation::now() and
+/// the schedule calls route through it.
+struct TlsShardScope {
+  explicit TlsShardScope(Shard& s) { tls_current_shard = &s; }
+  ~TlsShardScope() { tls_current_shard = nullptr; }
+};
+
+/// Run every event of `sh` with time <= bound, in (time, seq) order.
+template <typename DispatchOwner>
+void run_shard_until(Shard& sh, SimTime bound, DispatchOwner&& dispatch) {
+  TlsShardScope scope(sh);
+  while (sh.queue.run_before(
+             bound,
+             [&sh](SimTime when, std::uint64_t seq) {
+               HARMONY_CHECK_MSG(when >= sh.now, "shard clock went backwards");
+               sh.now = when;
+               sh.current_seq = seq;
+               ++sh.events_processed;
+             },
+             dispatch) == EventQueue::PopResult::kEvent) {
+  }
+}
+}  // namespace
+
+void ShardSet::run_merged_serial(SimTime instant_end) {
+  const auto dispatch = [this](const TypedEvent& ev) { sim_.dispatch(ev); };
+  SimTime when;
+  std::uint64_t seq;
+  std::uint32_t which;
+  while (peek_global(when, seq, which) && when <= instant_end) {
+    Shard& sh = *shards_[which];
+    TlsShardScope scope(sh);
+    // Exactly one event: the horizon `when` admits only the global head
+    // (plus same-instant followers it may schedule, which the next peek
+    // re-orders against all shards).
+    const auto r = sh.queue.run_before(
+        when,
+        [&sh](SimTime w, std::uint64_t s) {
+          HARMONY_CHECK_MSG(w >= sh.now, "shard clock went backwards");
+          sh.now = w;
+          sh.current_seq = s;
+          ++sh.events_processed;
+        },
+        dispatch);
+    HARMONY_CHECK(r == EventQueue::PopResult::kEvent);
+  }
+}
+
+void ShardSet::run_window_slice(unsigned worker) {
+  const auto dispatch = [this](const TypedEvent& ev) { sim_.dispatch(ev); };
+  const unsigned stride = std::min<unsigned>(num_threads_, count());
+  // The window is [start, window_end_): run_before's horizon is inclusive.
+  for (std::uint32_t s = worker; s < count(); s += stride) {
+    run_shard_until(*shards_[s], window_end_ - 1, dispatch);
+  }
+}
+
+void ShardSet::drain_mailboxes() {
+  for (std::uint32_t src = 0; src < count(); ++src) {
+    for (std::uint32_t dst = 0; dst < count(); ++dst) {
+      if (src != dst) mailbox(src, dst).drain_into(shards_[dst]->queue);
+    }
+  }
+}
+
+SimTime ShardSet::run(SimTime horizon) {
+  SimTime when;
+  std::uint64_t seq;
+  std::uint32_t which;
+
+  const auto flush = [this](SimTime safe) {
+    if (barrier_hook_ != nullptr) barrier_hook_(barrier_ctx_, safe);
+  };
+  const auto final_time = [this, horizon]() {
+    // Mirror the unsharded run_until: the clock lands on the last executed
+    // event when drained, on the horizon when events remain beyond it.
+    SimTime end = 0;
+    for (const auto& sh : shards_) end = std::max(end, sh->now);
+    return idle() ? end : horizon;
+  };
+
+  if (num_threads_ <= 1 || count() == 1) {
+    // Serial reference mode: strict global (time, seq) order, windowed only
+    // to bound the deferred-work buffers. Fences are irrelevant here —
+    // every instant is already serial.
+    while (peek_global(when, seq, which)) {
+      if (when > horizon) break;
+      const SimTime bound =
+          std::min(horizon, saturating_add(when, lookahead_ - 1));
+      run_merged_serial(bound);
+      flush(saturating_add(bound, 1));
+    }
+    flush(kNever);
+    return final_time();
+  }
+
+  const unsigned workers = std::min<unsigned>(num_threads_, count());
+  std::barrier<> gate(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) {
+    pool.emplace_back([this, &gate, w] {
+      while (true) {
+        gate.arrive_and_wait();  // window published (or done)
+        if (done_) return;
+        run_window_slice(w);
+        gate.arrive_and_wait();  // window complete
+      }
+    });
+  }
+
+  done_ = false;
+  while (peek_global(when, seq, which) && when <= horizon) {
+    const auto fence =
+        std::lower_bound(fences_.begin(), fences_.end(), when);
+    if (fence != fences_.end() && *fence == when) {
+      // Fence instant: cross-shard state may be mutated, so run the whole
+      // instant merged-serial on this thread (workers stay parked at the
+      // window gate).
+      run_merged_serial(when);
+      flush(saturating_add(when, 1));
+      continue;
+    }
+    SimTime wend = saturating_add(when, lookahead_);
+    if (fence != fences_.end() && *fence < wend) wend = *fence;
+    wend = std::min(wend, saturating_add(horizon, 1));
+    window_end_ = wend;
+    parallel_phase_ = true;
+    gate.arrive_and_wait();
+    run_window_slice(0);
+    gate.arrive_and_wait();
+    parallel_phase_ = false;
+    drain_mailboxes();
+    flush(wend);
+  }
+  done_ = true;
+  gate.arrive_and_wait();
+  for (auto& t : pool) t.join();
+  flush(kNever);
+  return final_time();
+}
+
+std::uint64_t ShardSet::events_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->events_processed;
+  return n;
+}
+
+std::uint64_t ShardSet::mailbox_spills() const {
+  std::uint64_t n = 0;
+  for (const Mailbox& m : mailboxes_) n += m.spills();
+  return n;
+}
+
+bool ShardSet::idle() const {
+  for (const auto& sh : shards_) {
+    if (!sh->queue.empty()) return false;
+  }
+  for (const Mailbox& m : mailboxes_) {
+    if (!m.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace harmony::sim

@@ -5,7 +5,7 @@ namespace harmony::sim {
 EventQueue::PopResult Simulation::run_one(SimTime horizon) {
   return queue_.run_before(
       horizon,
-      [this](SimTime when) {
+      [this](SimTime when, std::uint64_t /*seq*/) {
         HARMONY_CHECK_MSG(when >= now_, "event queue went backwards");
         now_ = when;
         ++events_processed_;
@@ -14,11 +14,16 @@ EventQueue::PopResult Simulation::run_one(SimTime horizon) {
 }
 
 bool Simulation::step() {
+  HARMONY_CHECK_MSG(shards_ == nullptr, "step() is unsharded-only");
   return run_one(std::numeric_limits<SimTime>::max()) ==
          EventQueue::PopResult::kEvent;
 }
 
 void Simulation::run_until(SimTime horizon) {
+  if (shards_ != nullptr) {
+    now_ = shards_->run(horizon);
+    return;
+  }
   stopping_ = false;
   while (!stopping_) {
     switch (run_one(horizon)) {

@@ -13,9 +13,10 @@ Client::Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s,
       shed_retry_limit_(shed_retry_limit) {}
 
 namespace {
-sim::TypedEvent issue_event(Client* client) {
+sim::TypedEvent issue_event(Client* client, std::uint8_t shard) {
   sim::TypedEvent e;
   e.kind = sim::EventKind::kClientIssue;
+  e.shard = shard;
   e.target = client;
   return e;
 }
@@ -28,10 +29,17 @@ void Client::dispatch_event(const sim::TypedEvent& ev) {
 }
 
 void Client::start() {
-  env_->simulation().set_event_dispatcher(sim::EventDomain::kWorkload,
-                                          &Client::dispatch_event);
+  sim::Simulation& sim = env_->simulation();
+  sim.set_event_dispatcher(sim::EventDomain::kWorkload,
+                           &Client::dispatch_event);
+  if (sim.sharded()) {
+    // Per-DC sharding: the whole closed loop (issue event, request callback,
+    // pacing closure) stays on the home DC's shard.
+    shard_ = static_cast<std::uint8_t>(home_ % sim.shard_count());
+  }
+  use_monitor_ = sim.shard_count() <= 1;
   const auto stagger = static_cast<SimDuration>(rng_.exponential(500.0));
-  env_->simulation().schedule_event(stagger, issue_event(this));
+  sim.schedule_event(stagger, issue_event(this, shard_));
 }
 
 void Client::schedule_next() {
@@ -42,7 +50,7 @@ void Client::schedule_next() {
     const auto gap = static_cast<SimDuration>(rng_.exponential(1e6 / target_rate_));
     next = std::max(next, last_issue_ + gap);
   }
-  env_->simulation().schedule_event_at(next, issue_event(this));
+  env_->simulation().schedule_event_at(next, issue_event(this, shard_));
 }
 
 void Client::issue_next() {
@@ -61,7 +69,9 @@ void Client::issue_next() {
       break;
     case OpType::kUpdate:
     case OpType::kInsert:
-      env_->monitor().record_write_issued(last_issue_, op.key, op.value_size);
+      if (use_monitor_) {
+        env_->monitor().record_write_issued(last_issue_, op.key, op.value_size);
+      }
       do_write(op, last_issue_, 0);
       break;
     case OpType::kReadModifyWrite:
@@ -87,7 +97,7 @@ void Client::do_read(const Op& op, bool then_write, SimTime first_start,
                      int shed_attempts) {
   // Monitor issue/complete hooks fire once per logical op, not per shed
   // re-issue, so the policy layer's rates count client intent.
-  if (shed_attempts == 0) {
+  if (shed_attempts == 0 && use_monitor_) {
     env_->monitor().record_read_issued(first_start, op.key);
   }
   const cluster::ReplicaRequirement req = env_->policy().read_requirement();
@@ -109,11 +119,16 @@ void Client::do_read(const Op& op, bool then_write, SimTime first_start,
           return;
         }
         const SimDuration latency = env_->simulation().now() - first_start;
-        env_->monitor().record_read_complete(env_->simulation().now(), latency);
+        if (use_monitor_) {
+          env_->monitor().record_read_complete(env_->simulation().now(),
+                                               latency);
+        }
         env_->on_read_complete(r, latency, req.count);
         if (then_write) {
-          env_->monitor().record_write_issued(env_->simulation().now(), op.key,
-                                              op.value_size);
+          if (use_monitor_) {
+            env_->monitor().record_write_issued(env_->simulation().now(),
+                                                op.key, op.value_size);
+          }
           do_write(op, env_->simulation().now(), 0);
         } else {
           schedule_next();
@@ -139,8 +154,10 @@ void Client::do_write(const Op& op, SimTime first_start, int shed_attempts) {
           return;
         }
         const SimDuration latency = env_->simulation().now() - first_start;
-        env_->monitor().record_write_complete(env_->simulation().now(),
-                                              latency);
+        if (use_monitor_) {
+          env_->monitor().record_write_complete(env_->simulation().now(),
+                                                latency);
+        }
         env_->on_write_complete(w, latency);
         schedule_next();
       },

@@ -24,8 +24,10 @@ struct Op {
   std::uint32_t value_size = 0;
 };
 
-/// The runner-side services a client needs. Runs inside the (single-threaded)
-/// simulation loop, so no synchronization is involved.
+/// The runner-side services a client needs. Runs inside the simulation loop:
+/// single-threaded by default, or — under sharded execution — on the worker
+/// thread of the client's home-DC shard. Implementations must keep any state
+/// they mutate from these callbacks shard-local (see workload/runner.cpp).
 class ClientEnv {
  public:
   virtual ~ClientEnv() = default;
@@ -81,6 +83,12 @@ class Client {
   net::DcId home_;
   double target_rate_;
   Rng rng_;
+  /// Event shard the client's issue loop runs on (home DC under per-DC
+  /// sharding, 0 otherwise); set by start().
+  std::uint8_t shard_ = 0;
+  /// Monitor recording is skipped under shard_count > 1: the monitor is a
+  /// cross-shard singleton the runner leaves unattached there.
+  bool use_monitor_ = true;
   SimTime last_issue_ = 0;
   std::uint64_t issued_ = 0;
   bool finished_ = false;

@@ -18,16 +18,31 @@ class Runner final : public ClientEnv {
   explicit Runner(const RunConfig& cfg)
       : cfg_(cfg),
         sim_(cfg.seed),
-        cluster_(sim_, cfg.cluster),
+        cluster_(shard_configured(sim_, cfg), cfg.cluster),
         monitor_(cfg.monitor),
         op_rng_(sim_.fork_rng(0x0FAB5EED)),
-        request_dist_(cfg.workload.request_dist.build(cfg.workload.record_count)) {
+        request_dist_(cfg.workload.request_dist.build(cfg.workload.record_count)),
+        deferred_(sim_.shard_count() > 1) {
     cfg_.workload.validate();
     HARMONY_CHECK_MSG(
         cfg_.workload.client_dc <
             static_cast<int>(cfg_.cluster.dc_count),
         "client_dc out of range");
-    monitor_.attach(cluster_, /*client_home_dc=*/0);
+    if (deferred_) {
+      // Every singleton a shard worker would otherwise mutate cross-shard is
+      // disabled; RunConfig::num_shard_threads documents the semantic deltas.
+      HARMONY_CHECK_MSG(!cfg_.record_trace,
+                        "record_trace is a single-stream log; not supported "
+                        "under shard_count > 1");
+      HARMONY_CHECK_MSG(cfg_.faults.empty(),
+                        "legacy RunConfig.faults closures cannot cross "
+                        "shards; use fault_schedule (fenced typed lane)");
+      HARMONY_CHECK_MSG(!cfg_.workload.reroute_on_dc_outage,
+                        "DC re-routing sends requests to a foreign shard's "
+                        "coordinator; not supported under shard_count > 1");
+    } else {
+      monitor_.attach(cluster_, /*client_home_dc=*/0);
+    }
     policy::PolicyInit init;
     init.rf = cfg_.cluster.rf;
     init.local_rf = cfg_.cluster.local_rf(0);
@@ -39,6 +54,7 @@ class Runner final : public ClientEnv {
   RunResult run() {
     cluster_.preload_range(cfg_.workload.record_count, cfg_.workload.value_size);
     next_insert_key_ = cfg_.workload.record_count;
+    if (deferred_) init_dc_states();
 
     // Clients, spread over every DC (or confined to one via client_dc).
     for (std::size_t d = 0; d < cfg_.cluster.dc_count; ++d) {
@@ -53,11 +69,19 @@ class Runner final : public ClientEnv {
             sim_.fork_rng(0xC11E017 + clients_.size()),
             cfg_.workload.reroute_on_dc_outage,
             cfg_.workload.shed_retry_limit));
+        if (deferred_) ++dc_[d].clients;
       }
     }
-    for (auto& c : clients_) c->start();
+    for (auto& c : clients_) {
+      // Sharded: the start stagger (and every event it transitively books)
+      // belongs to the client's home-DC shard.
+      sim_.set_setup_shard(deferred_ ? c->home_dc() : 0);
+      c->start();
+    }
+    sim_.set_setup_shard(0);
 
-    // Scheduled failure injection (legacy kill/revive list, closure lane).
+    // Scheduled failure injection (legacy kill/revive list, closure lane;
+    // the constructor rejects it under sharding).
     for (const auto& fault : cfg_.faults) {
       sim_.schedule_at(fault.at, [this, fault] {
         if (fault.kill) {
@@ -68,16 +92,41 @@ class Runner final : public ClientEnv {
       });
     }
     // Full fault schedule, typed lane (blackouts, degradation windows, ...).
+    // Under sharding every fault instant is a fence (merged-serial), so this
+    // path stays legal where the closure list above is not.
     for (const auto& fault : cfg_.fault_schedule) {
       cluster_.schedule_fault(fault);
     }
 
-    // Policy retuning tick.
-    policy_timer_.start(sim_, cfg_.policy_tick,
-                        [this] { policy_->tick(monitor_.snapshot(sim_.now())); });
+    // Policy retuning tick. Sharded runs keep the policy's initial
+    // requirement for the whole run: the tick reads the (unattached) monitor
+    // and mutates the policy, both cross-shard singletons.
+    if (!deferred_) {
+      policy_timer_.start(sim_, cfg_.policy_tick, [this] {
+        policy_->tick(monitor_.snapshot(sim_.now()));
+      });
+    }
 
     // Warm-up boundary: reset measurements, keep billing clocks running.
-    if (cfg_.warmup > 0) {
+    // Sharded: one boundary event per shard, each flipping only that DC's
+    // measuring state — the flip lands at the same (time, seq) point of the
+    // merge for every thread count.
+    if (deferred_) {
+      measure_start_ = cfg_.warmup;
+      for (std::size_t d = 0; d < dc_.size(); ++d) {
+        if (cfg_.warmup > 0) {
+          sim_.set_setup_shard(static_cast<std::uint32_t>(d));
+          sim_.schedule(cfg_.warmup, [this, d] {
+            DcState& s = dc_[d];
+            s.measuring = true;
+            s.ops_at_measure_start = s.ops_completed;
+          });
+        } else {
+          dc_[d].measuring = true;
+        }
+      }
+      sim_.set_setup_shard(0);
+    } else if (cfg_.warmup > 0) {
       sim_.schedule(cfg_.warmup, [this] { begin_measurement(); });
     } else {
       begin_measurement();
@@ -90,6 +139,7 @@ class Runner final : public ClientEnv {
   // ---- ClientEnv -----------------------------------------------------------
 
   bool next_op(Op& op) override {
+    if (deferred_) return next_op_sharded(op);
     if (ops_issued_ >= cfg_.workload.op_count) return false;
     ++ops_issued_;
     const WorkloadSpec& w = cfg_.workload;
@@ -116,6 +166,36 @@ class Runner final : public ClientEnv {
     return true;
   }
 
+  /// Sharded op stream: each DC owns an equal slice of the op budget, its
+  /// own RNG fork and key distribution, and an interleaved insert-key lane
+  /// (record_count + dc + n*dc_count) so shards never contend for a key
+  /// counter. Runs on the calling client's shard thread; touches only that
+  /// shard's DcState.
+  bool next_op_sharded(Op& op) {
+    DcState& s = dc_[sim_.current_shard()];
+    if (s.ops_issued >= s.ops_budget) return false;
+    ++s.ops_issued;
+    const WorkloadSpec& w = cfg_.workload;
+    const double weights[4] = {w.read_proportion, w.update_proportion,
+                               w.insert_proportion, w.rmw_proportion};
+    switch (s.op_rng.weighted_index(weights, 4)) {
+      case 0: op.type = OpType::kRead; break;
+      case 1: op.type = OpType::kUpdate; break;
+      case 2: op.type = OpType::kInsert; break;
+      default: op.type = OpType::kReadModifyWrite; break;
+    }
+    if (op.type == OpType::kInsert) {
+      op.key = w.record_count + sim_.current_shard() +
+               s.next_insert_seq * dc_.size();
+      ++s.next_insert_seq;
+      s.request_dist->grow(op.key + 1);
+    } else {
+      op.key = s.request_dist->next(s.op_rng);
+    }
+    op.value_size = w.value_size;
+    return true;
+  }
+
   const policy::ConsistencyPolicy& policy() const override { return *policy_; }
   cluster::Cluster& cluster() override { return cluster_; }
   monitor::Monitor& monitor() override { return monitor_; }
@@ -123,6 +203,23 @@ class Runner final : public ClientEnv {
 
   void on_read_complete(const cluster::ReadResult& r, SimDuration latency,
                         int replicas_requested) override {
+    if (deferred_) {
+      DcState& s = dc_[sim_.current_shard()];
+      ++s.ops_completed;
+      if (s.measuring) {
+        ++s.reads;
+        if (!r.ok) {
+          ++s.errors;
+        } else {
+          s.read_latency.record(latency);
+          ++s.read_level_usage[replicas_requested];
+          // r.stale is never populated under shard_count > 1 (the deferred
+          // oracle judges at window barriers); collect() reads the oracle's
+          // whole-run aggregates instead.
+        }
+      }
+      return;
+    }
     ++ops_completed_;
     if (measuring_) {
       ++result_.reads;
@@ -144,6 +241,19 @@ class Runner final : public ClientEnv {
 
   void on_write_complete(const cluster::WriteResult& w,
                          SimDuration latency) override {
+    if (deferred_) {
+      DcState& s = dc_[sim_.current_shard()];
+      ++s.ops_completed;
+      if (s.measuring) {
+        ++s.writes;
+        if (!w.ok) {
+          ++s.errors;
+        } else {
+          s.write_latency.record(latency);
+        }
+      }
+      return;
+    }
     ++ops_completed_;
     if (measuring_) {
       ++result_.writes;
@@ -157,6 +267,12 @@ class Runner final : public ClientEnv {
   }
 
   void on_client_finished() override {
+    if (deferred_) {
+      DcState& s = dc_[sim_.current_shard()];
+      ++s.clients_finished;
+      if (s.clients_finished == s.clients) s.finish_time = sim_.now();
+      return;
+    }
     ++clients_finished_;
     if (clients_finished_ == clients_.size()) {
       // Budget drained: stop the retuning timer so the queue can empty.
@@ -166,6 +282,74 @@ class Runner final : public ClientEnv {
   }
 
  private:
+  /// Per-DC workload state for sharded runs. Everything a client callback
+  /// mutates lives here, indexed by the executing shard, so workers never
+  /// share a cache line let alone a counter. Padded to a line for the
+  /// adjacent-element case.
+  struct alignas(64) DcState {
+    Rng op_rng;
+    std::unique_ptr<KeyDistribution> request_dist;
+    std::uint64_t ops_budget = 0;
+    std::uint64_t ops_issued = 0;
+    std::uint64_t ops_completed = 0;
+    std::uint64_t next_insert_seq = 0;
+    std::size_t clients = 0;
+    std::size_t clients_finished = 0;
+    bool measuring = false;
+    std::uint64_t ops_at_measure_start = 0;
+    SimTime finish_time = 0;
+    // Measured (post-warmup) tallies, merged by collect().
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t errors = 0;
+    LatencyHistogram read_latency;
+    LatencyHistogram write_latency;
+    std::map<int, std::uint64_t> read_level_usage;
+  };
+
+  /// Runs in the constructor's member-init list: shards must be configured
+  /// after the Simulation exists but before the Cluster (or anything else)
+  /// schedules its first event.
+  static sim::Simulation& shard_configured(sim::Simulation& sim,
+                                           const RunConfig& cfg) {
+    if (cfg.num_shard_threads > 0) {
+      const SimDuration lookahead = cfg.cluster.latency.cross_dc.floor;
+      HARMONY_CHECK_MSG(lookahead > 0,
+                        "sharded runs derive their conservative lookahead "
+                        "from cluster.latency.cross_dc.floor; set it > 0");
+      sim.configure_shards(static_cast<std::uint32_t>(cfg.cluster.dc_count),
+                           lookahead, cfg.num_shard_threads);
+    }
+    return sim;
+  }
+
+  void init_dc_states() {
+    const std::size_t dcs = cfg_.cluster.dc_count;
+    dc_ = std::vector<DcState>(dcs);
+    // Equal split of the op budget over client-hosting DCs; the remainder
+    // goes to the lowest DC indices so totals match op_count exactly.
+    std::uint64_t active = 0;
+    for (std::size_t d = 0; d < dcs; ++d) {
+      if (cfg_.workload.client_dc < 0 ||
+          d == static_cast<std::size_t>(cfg_.workload.client_dc)) {
+        ++active;
+      }
+    }
+    std::uint64_t handed = 0;
+    for (std::size_t d = 0; d < dcs; ++d) {
+      DcState& s = dc_[d];
+      s.op_rng = sim_.fork_rng(0x0FAB5EED + 0x9E37 * (d + 1));
+      s.request_dist = cfg_.workload.request_dist.build(cfg_.workload.record_count);
+      const bool hosts = cfg_.workload.client_dc < 0 ||
+                         d == static_cast<std::size_t>(cfg_.workload.client_dc);
+      if (hosts) {
+        s.ops_budget = cfg_.workload.op_count / active +
+                       (handed < cfg_.workload.op_count % active ? 1 : 0);
+        ++handed;
+      }
+    }
+  }
+
   void begin_measurement() {
     measuring_ = true;
     measure_start_ = sim_.now();
@@ -179,6 +363,31 @@ class Runner final : public ClientEnv {
 
   RunResult collect() {
     RunResult& r = result_;
+    std::uint64_t completed = ops_completed_;
+    std::uint64_t at_measure_start = ops_at_measure_start_;
+    if (deferred_) {
+      // Merge the per-DC tallies; every shard is quiescent here (the run
+      // loop joined its workers before returning).
+      completed = at_measure_start = 0;
+      for (DcState& s : dc_) {
+        r.reads += s.reads;
+        r.writes += s.writes;
+        r.errors += s.errors;
+        r.read_latency.merge(s.read_latency);
+        r.write_latency.merge(s.write_latency);
+        for (const auto& [k, n] : s.read_level_usage) {
+          r.read_level_usage[k] += n;
+        }
+        completed += s.ops_completed;
+        at_measure_start += s.ops_at_measure_start;
+        if (s.finish_time > finish_time_) finish_time_ = s.finish_time;
+      }
+      // Per-read judgements are deferred past the client callback under
+      // sharding; the oracle's whole-run aggregates are exact.
+      r.stale_reads = cluster_.oracle().stale_reads();
+      r.fresh_reads = cluster_.oracle().fresh_reads();
+      r.staleness_age.merge(cluster_.oracle().staleness_age());
+    }
     r.label = cfg_.label;
     r.policy_name = policy_->name();
     r.ops = r.reads + r.writes;
@@ -188,7 +397,7 @@ class Runner final : public ClientEnv {
     r.total_wall_s = to_seconds(end);
     const SimTime measured_span = end - measure_start_;
     r.duration_s = to_seconds(measured_span > 0 ? measured_span : end);
-    const std::uint64_t measured_ops = ops_completed_ - ops_at_measure_start_;
+    const std::uint64_t measured_ops = completed - at_measure_start;
     r.throughput = r.duration_s > 0
                        ? static_cast<double>(measured_ops) / r.duration_s
                        : 0.0;
@@ -228,6 +437,7 @@ class Runner final : public ClientEnv {
     r.unavailable = cluster_.unavailable();
     r.read_repairs = cluster_.read_repairs_sent();
     r.sim_events = sim_.events_processed();
+    r.mailbox_spills = sim_.mailbox_spills();
     r.retries = cluster_.retries();
     r.hedges_fired = cluster_.hedges_fired();
     r.hedge_wins = cluster_.hedge_wins();
@@ -248,6 +458,10 @@ class Runner final : public ClientEnv {
   std::unique_ptr<policy::ConsistencyPolicy> policy_;
   std::vector<std::unique_ptr<Client>> clients_;
   sim::PeriodicTimer policy_timer_;
+  /// True when the simulation runs per-DC shards (shard_count > 1): client
+  /// callbacks then use dc_ instead of the serial members below.
+  bool deferred_ = false;
+  std::vector<DcState> dc_;
 
   std::uint64_t ops_issued_ = 0;
   std::uint64_t ops_completed_ = 0;

@@ -39,6 +39,21 @@ struct RunConfig {
   /// proportional to op_count; off by default.
   bool record_trace = false;
 
+  /// Sharded execution (the parallel perf path; see sim/shard.h and
+  /// docs/INVARIANTS.md "Cross-shard determinism"): > 0 partitions the
+  /// simulation into one event shard per DC driven by this many worker
+  /// threads. Any thread count reproduces the same (time, seq) merge, and
+  /// `1` runs it merged-serial on the calling thread. Requires
+  /// cluster.latency.cross_dc.floor > 0 — that floor is the conservative
+  /// lookahead. With dc_count > 1 the cross-shard singletons are disabled:
+  /// no monitor attachment (final_state stays empty), no policy retuning
+  /// ticks (the policy's initial requirement holds for the whole run), no
+  /// trace recording, no legacy `faults` list (use `fault_schedule`), and no
+  /// client DC re-routing; staleness counters come from the deferred
+  /// oracle's whole-run aggregates instead of per-read judgements.
+  /// 0 (default) = classic serial unsharded execution.
+  unsigned num_shard_threads = 0;
+
   /// Scheduled failure injection: kill/revive nodes mid-run (availability
   /// experiments; revival replays hints).
   struct FaultEvent {
@@ -100,6 +115,10 @@ struct RunResult {
   std::uint64_t unavailable = 0;
   std::uint64_t read_repairs = 0;
   std::uint64_t sim_events = 0;
+  /// Cross-shard mailbox slab overflows (sharded runs; 0 serial). Nonzero
+  /// means cluster.sharded_slot_reserve-style tuning of
+  /// Simulation::configure_shards mailbox_capacity may help throughput.
+  std::uint64_t mailbox_spills = 0;
   double total_wall_s = 0;  ///< including warmup
 
   // ---- resilience SLA metrics (whole run) ----------------------------------

@@ -190,18 +190,18 @@ TEST(EventQueue, DeterministicUnderScheduleCancelChurn) {
 
 // ---- typed hot lane ---------------------------------------------------------
 
-/// Test dispatcher for the user event domain: appends `aux` to the vector
-/// named by `target`.
+/// Test dispatcher for the user event domain: appends the event's tag to the
+/// vector named by `target`.
 void record_probe(const TypedEvent& ev) {
   static_cast<std::vector<std::uint32_t>*>(ev.target)
-      ->push_back(ev.aux);
+      ->push_back(static_cast<std::uint32_t>(ev.u.raw[0]));
 }
 
 TypedEvent probe(std::vector<std::uint32_t>* sink, std::uint32_t tag) {
   TypedEvent ev;
   ev.kind = EventKind::kUserProbe;
   ev.target = sink;
-  ev.aux = tag;
+  ev.u.raw[0] = tag;
   return ev;
 }
 

@@ -211,6 +211,104 @@ TEST(Retries, ExhaustedAttemptsCountExactlyOneTimeout) {
   EXPECT_EQ(c.timeouts(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Snitch-class ranking: hedge/retry backup legs prefer same-rack over
+// same-DC over cross-DC among the untried alive replicas.
+// ---------------------------------------------------------------------------
+
+struct RankedHedgeRun {
+  SimTime done_at = -1;
+  ReadResult result;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+};
+
+/// 2 DCs x 2 racks of 2, rf 3+3, uniform-shuffle snitch, jitter-free latency
+/// tiers (same-rack 0.1ms << same-DC 8ms << cross-DC 80ms). All three dc0
+/// replicas of the key start dead, which forces the CL=ONE read to (a)
+/// coordinate on the single live dc0 node — the one non-replica — and (b)
+/// send its data leg to a slow cross-DC dc1 replica. A scheduled revival
+/// lands after the original leg went out but before the hedge timer fires,
+/// so next_untried_replica faces candidates of several link classes at once;
+/// which class it picked is read off the completion time (the hedge response
+/// beats the ~168ms cross-DC original by construction).
+RankedHedgeRun run_ranked_hedge(bool revive_same_rack) {
+  sim::Simulation sim(77);
+  ClusterConfig cfg;
+  cfg.dc_count = 2;
+  cfg.node_count = 8;  // 4 per DC, 2 racks of 2
+  cfg.rf = 6;          // NTS split: 3 replicas in each DC
+  cfg.use_nts = true;
+  cfg.closest_first_snitch = false;  // ordering must come from the ranking
+  cfg.resilience.hedge_reads = true;
+  cfg.resilience.hedge_fallback_delay = msec(1);
+  cfg.latency.same_rack = {usec(100), 0.0};
+  cfg.latency.same_dc = {msec(8), 0.0};
+  cfg.latency.cross_dc = {msec(80), 0.0};
+  Cluster c(sim, cfg);
+  c.preload_range(32, 256);
+
+  const cluster::Key key = 7;
+  const net::Topology& topo = c.topology();
+  std::vector<net::NodeId> dc0_replicas;
+  for (const net::NodeId n : c.replicas_for(key)) {
+    if (topo.dc_of(n) == 0) dc0_replicas.push_back(n);
+  }
+  EXPECT_EQ(dc0_replicas.size(), 3u);
+  // The one dc0 node that is not a replica: the forced coordinator. Its
+  // same-rack peer is always one of the three dc0 replicas.
+  net::NodeId coord = 0;
+  for (const net::NodeId n : topo.nodes_in_dc(0)) {
+    if (std::find(dc0_replicas.begin(), dc0_replicas.end(), n) ==
+        dc0_replicas.end()) {
+      coord = n;
+    }
+  }
+  for (const net::NodeId n : dc0_replicas) c.kill_node(n);
+
+  // The client hop is a same-DC leg (8ms) and the hedge fires 1ms after the
+  // coordinator started the read: revive at 8.5ms, squarely between them.
+  sim.schedule_at(8500, [&c, &topo, &dc0_replicas, coord, revive_same_rack] {
+    for (const net::NodeId n : dc0_replicas) {
+      if (!revive_same_rack && topo.same_rack(coord, n)) continue;
+      c.revive_node(n);
+    }
+  });
+
+  RankedHedgeRun out;
+  c.client_read(0, key, cluster::resolve_count(1, cfg.rf),
+                [&out, &sim](const ReadResult& r) {
+                  out.result = r;
+                  out.done_at = sim.now();
+                });
+  sim.run();
+  out.hedges = c.hedges_fired();
+  out.hedge_wins = c.hedge_wins();
+  return out;
+}
+
+TEST(Hedging, BackupLegPrefersSameRackThenSameDcThenCrossDc) {
+  // All three dc0 replicas revive: the same-rack peer must win the hedge,
+  // and its ~0.2ms round trip completes the read at roughly client hop (8) +
+  // hedge delay (1) + response hop (8) ≈ 17ms. A same-DC pick would land
+  // near 33ms, a cross-DC pick near 177ms.
+  const RankedHedgeRun rack = run_ranked_hedge(/*revive_same_rack=*/true);
+  EXPECT_TRUE(rack.result.ok);
+  EXPECT_EQ(rack.hedges, 1u);
+  EXPECT_EQ(rack.hedge_wins, 1u);
+  EXPECT_LT(rack.done_at, msec(25));
+
+  // The same-rack peer stays dead: the ranking must fall back to a same-DC
+  // candidate (~33ms completion), never the untried cross-DC replicas
+  // (~177ms, indistinguishable from the original leg's ~176ms).
+  const RankedHedgeRun dc = run_ranked_hedge(/*revive_same_rack=*/false);
+  EXPECT_TRUE(dc.result.ok);
+  EXPECT_EQ(dc.hedges, 1u);
+  EXPECT_EQ(dc.hedge_wins, 1u);
+  EXPECT_GT(dc.done_at, msec(25));
+  EXPECT_LT(dc.done_at, msec(80));
+}
+
 TEST(Faults, TimeoutFiresDuringDcBlackoutThenRestoreHeals) {
   sim::Simulation sim(23);
   ClusterConfig cfg;

@@ -134,6 +134,112 @@ TEST(Runner, RequiresPolicy) {
   EXPECT_THROW(run_experiment(cfg), CheckError);
 }
 
+// ---- sharded execution (RunConfig::num_shard_threads) ----------------------
+
+RunConfig sharded_run(unsigned threads, std::uint64_t ops = 6000) {
+  RunConfig cfg = small_run(ops);
+  cfg.cluster.node_count = 9;
+  cfg.cluster.dc_count = 3;
+  // The cross-DC propagation floor doubles as the conservative lookahead.
+  cfg.cluster.latency.cross_dc.floor = kMillisecond;
+  cfg.workload.clients_per_dc = 6;
+  cfg.num_shard_threads = threads;
+  cfg.seed = 29;
+  return cfg;
+}
+
+void expect_same_run(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.stale_reads, b.stale_reads);
+  EXPECT_EQ(a.fresh_reads, b.fresh_reads);
+  EXPECT_EQ(a.net.total_bytes(), b.net.total_bytes());
+  EXPECT_EQ(a.read_latency.count(), b.read_latency.count());
+  EXPECT_EQ(a.read_latency.percentile(99), b.read_latency.percentile(99));
+  EXPECT_EQ(a.write_latency.percentile(99), b.write_latency.percentile(99));
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.bill.total(), b.bill.total());
+}
+
+TEST(Runner, ShardedRunIsThreadCountInvariant) {
+  const auto serial = run_experiment(sharded_run(1));
+  const auto two = run_experiment(sharded_run(2));
+  const auto four = run_experiment(sharded_run(4));
+  EXPECT_GT(serial.reads, 1000u);
+  EXPECT_EQ(serial.errors, 0u);
+  expect_same_run(serial, two);
+  expect_same_run(serial, four);
+  // The merged-serial reference never touches a mailbox.
+  EXPECT_EQ(serial.mailbox_spills, 0u);
+}
+
+TEST(Runner, ShardedInsertWorkloadIsThreadCountInvariant) {
+  auto make = [](unsigned threads) {
+    auto cfg = sharded_run(threads, 4000);
+    cfg.workload = WorkloadSpec::ycsb_d();  // insert-heavy: per-DC key lanes
+    cfg.workload.op_count = 4000;
+    cfg.workload.record_count = 500;
+    cfg.workload.clients_per_dc = 6;
+    return cfg;
+  };
+  const auto serial = run_experiment(make(1));
+  const auto four = run_experiment(make(4));
+  EXPECT_GT(serial.writes, 0u);
+  EXPECT_EQ(serial.errors, 0u);
+  expect_same_run(serial, four);
+}
+
+TEST(Runner, ShardedSingleDcMatchesUnshardedExactly) {
+  auto make = [](unsigned threads) {
+    auto cfg = small_run(3000);
+    cfg.cluster.dc_count = 1;
+    cfg.cluster.node_count = 6;
+    cfg.cluster.latency.cross_dc.floor = kMillisecond;
+    cfg.num_shard_threads = threads;
+    return cfg;
+  };
+  // One DC = one shard: the full serial machinery (monitor, policy ticks,
+  // per-read staleness) stays on, and the run is byte-identical to the
+  // unsharded default.
+  const auto plain = run_experiment(make(0));
+  const auto sharded = run_experiment(make(4));
+  expect_same_run(plain, sharded);
+  EXPECT_DOUBLE_EQ(plain.stale_fraction, sharded.stale_fraction);
+}
+
+TEST(Runner, ShardedRunRejectsCrossShardSingletons) {
+  auto with_faults = sharded_run(2, 1000);
+  with_faults.faults.push_back({100 * kMillisecond, 0, true});
+  EXPECT_THROW(run_experiment(with_faults), CheckError);
+
+  auto with_trace = sharded_run(2, 1000);
+  with_trace.record_trace = true;
+  EXPECT_THROW(run_experiment(with_trace), CheckError);
+
+  auto no_floor = sharded_run(2, 1000);
+  no_floor.cluster.latency.cross_dc.floor = 0;
+  EXPECT_THROW(run_experiment(no_floor), CheckError);
+}
+
+TEST(Runner, ShardedFaultScheduleIsThreadCountInvariant) {
+  auto make = [](unsigned threads) {
+    auto cfg = sharded_run(threads, 5000);
+    // Kill one node per DC mid-run and revive it; fault instants are fences.
+    for (net::NodeId n = 0; n < 3; ++n) {
+      cfg.fault_schedule.push_back({300 * kMillisecond + n * 50 * kMillisecond,
+                                    cluster::FaultOp::kKillNode, n, 0, 1.0});
+      cfg.fault_schedule.push_back({800 * kMillisecond + n * 50 * kMillisecond,
+                                    cluster::FaultOp::kReviveNode, n, 0, 1.0});
+    }
+    return cfg;
+  };
+  const auto serial = run_experiment(make(1));
+  const auto four = run_experiment(make(4));
+  expect_same_run(serial, four);
+}
+
 TEST(Runner, SummaryContainsPolicyName) {
   const auto r = run_experiment(small_run(2000));
   EXPECT_NE(r.summary().find("static-ONE"), std::string::npos);
