@@ -26,6 +26,10 @@ class ReplicaStore {
 
   std::optional<VersionedValue> read(Key key) const;
 
+  /// Pre-size for a bulk load of `expected_keys` (one allocation instead of
+  /// a doubling cascade; see FlatTable::reserve).
+  void reserve(std::size_t expected_keys) { table_.reserve(expected_keys); }
+
   std::size_t key_count() const { return table_.size(); }
   std::uint64_t stored_bytes() const { return stored_bytes_; }
 

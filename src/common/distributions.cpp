@@ -44,6 +44,12 @@ ZipfianKeys::ZipfianKeys(std::uint64_t n, double theta)
 }
 
 void ZipfianKeys::recompute(std::uint64_t n) {
+  // Incremental: extend the harmonic sum from the old n_ (YCSB's
+  // incremental-zeta trick). Insert workloads call grow() once per inserted
+  // key, so a from-scratch re-sum here would be O(n) per insert — O(n^2)
+  // per run. The left-to-right extension adds the exact terms a fresh
+  // construction would, so the constants stay bit-identical to the
+  // from-scratch path (pinned by ZipfianKeys.IncrementalGrowMatchesFromScratch).
   zeta_n_ = zeta(n_, n, theta_, zeta_n_);
   n_ = n;
   eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /

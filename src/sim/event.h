@@ -61,7 +61,8 @@ enum class EventKind : std::uint8_t {
   kFault,              ///< scheduled fault-injection action (kill/degrade/...)
 
   // ---- workload domain (16..31): clients --------------------------------
-  kClientIssue = 16,   ///< a client issues its next operation
+  kClientIssue = 16,   ///< a closed-loop client issues its next operation
+  kOpenLoopArrival,    ///< an open-loop source's next intended arrival fires
 
   // ---- user domain (32..47): free for tests and benches ------------------
   kUserProbe = 32,

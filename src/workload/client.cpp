@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "workload/open_loop.h"
 
 namespace harmony::workload {
 
@@ -23,9 +24,16 @@ sim::TypedEvent issue_event(Client* client, std::uint8_t shard) {
 }  // namespace
 
 void Client::dispatch_event(const sim::TypedEvent& ev) {
-  HARMONY_CHECK_MSG(ev.kind == sim::EventKind::kClientIssue,
-                    "unknown workload event kind");
-  static_cast<Client*>(ev.target)->issue_next();
+  switch (ev.kind) {
+    case sim::EventKind::kClientIssue:
+      static_cast<Client*>(ev.target)->issue_next();
+      break;
+    case sim::EventKind::kOpenLoopArrival:
+      OpenLoopSource::dispatch_arrival(ev);
+      break;
+    default:
+      HARMONY_CHECK_MSG(false, "unknown workload event kind");
+  }
 }
 
 void Client::start() {
@@ -47,8 +55,15 @@ void Client::schedule_next() {
   SimTime next = env_->simulation().now();
   if (target_rate_ > 0) {
     // Semi-open loop: arrivals pace at the target rate but never overlap.
+    // The arrival grid advances by the drawn gaps from the previous
+    // *intended* time, never from the actual (possibly delayed) issue time:
+    // re-basing on actual issue times would let queueing delay stretch the
+    // arrival process and hide itself from the latency measurement
+    // (coordinated omission). issue_next() measures from next_intended_.
     const auto gap = static_cast<SimDuration>(rng_.exponential(1e6 / target_rate_));
-    next = std::max(next, last_issue_ + gap);
+    const SimTime base = next_intended_ >= 0 ? next_intended_ : next;
+    next_intended_ = base + gap;
+    next = std::max(next, next_intended_);
   }
   env_->simulation().schedule_event_at(next, issue_event(this, shard_));
 }
@@ -63,19 +78,25 @@ void Client::issue_next() {
   }
   ++issued_;
   last_issue_ = env_->simulation().now();
+  // Paced clients measure from the intended arrival, so time spent waiting
+  // behind the previous op counts as latency; unthrottled closed loops have
+  // no arrival schedule to be late against.
+  const SimTime start = (target_rate_ > 0 && next_intended_ >= 0)
+                            ? next_intended_
+                            : last_issue_;
   switch (op.type) {
     case OpType::kRead:
-      do_read(op, /*then_write=*/false, last_issue_, 0);
+      do_read(op, /*then_write=*/false, start, 0);
       break;
     case OpType::kUpdate:
     case OpType::kInsert:
       if (use_monitor_) {
         env_->monitor().record_write_issued(last_issue_, op.key, op.value_size);
       }
-      do_write(op, last_issue_, 0);
+      do_write(op, start, 0);
       break;
     case OpType::kReadModifyWrite:
-      do_read(op, /*then_write=*/true, last_issue_, 0);
+      do_read(op, /*then_write=*/true, start, 0);
       break;
   }
 }

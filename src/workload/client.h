@@ -90,6 +90,13 @@ class Client {
   /// cross-shard singleton the runner leaves unattached there.
   bool use_monitor_ = true;
   SimTime last_issue_ = 0;
+  /// Rate-paced clients: the op's *intended* issue time on the arrival grid.
+  /// The grid advances by the drawn gaps alone; when completions lag the
+  /// grid, the issue slips later but latency is still measured from here —
+  /// otherwise queueing delay silently shrinks offered load and every
+  /// latency figure at saturation comes out optimistic (coordinated
+  /// omission). -1 until the first paced gap is drawn.
+  SimTime next_intended_ = -1;
   std::uint64_t issued_ = 0;
   bool finished_ = false;
   bool reroute_ = false;

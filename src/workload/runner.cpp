@@ -18,7 +18,7 @@ class Runner final : public ClientEnv {
   explicit Runner(const RunConfig& cfg)
       : cfg_(cfg),
         sim_(cfg.seed),
-        cluster_(shard_configured(sim_, cfg), cfg.cluster),
+        cluster_(shard_configured(sim_, cfg), sized_cluster_config(cfg)),
         monitor_(cfg.monitor),
         op_rng_(sim_.fork_rng(0x0FAB5EED)),
         request_dist_(cfg.workload.request_dist.build(cfg.workload.record_count)),
@@ -56,29 +56,33 @@ class Runner final : public ClientEnv {
     next_insert_key_ = cfg_.workload.record_count;
     if (deferred_) init_dc_states();
 
-    // Clients, spread over every DC (or confined to one via client_dc).
-    for (std::size_t d = 0; d < cfg_.cluster.dc_count; ++d) {
-      if (cfg_.workload.client_dc >= 0 &&
-          d != static_cast<std::size_t>(cfg_.workload.client_dc)) {
-        continue;
+    if (cfg_.workload.open_loop.enabled) {
+      setup_open_loop();
+    } else {
+      // Clients, spread over every DC (or confined to one via client_dc).
+      for (std::size_t d = 0; d < cfg_.cluster.dc_count; ++d) {
+        if (cfg_.workload.client_dc >= 0 &&
+            d != static_cast<std::size_t>(cfg_.workload.client_dc)) {
+          continue;
+        }
+        for (int i = 0; i < cfg_.workload.clients_per_dc; ++i) {
+          clients_.push_back(std::make_unique<Client>(
+              *this, static_cast<net::DcId>(d),
+              cfg_.workload.target_rate_per_client,
+              sim_.fork_rng(0xC11E017 + clients_.size()),
+              cfg_.workload.reroute_on_dc_outage,
+              cfg_.workload.shed_retry_limit));
+          if (deferred_) ++dc_[d].clients;
+        }
       }
-      for (int i = 0; i < cfg_.workload.clients_per_dc; ++i) {
-        clients_.push_back(std::make_unique<Client>(
-            *this, static_cast<net::DcId>(d),
-            cfg_.workload.target_rate_per_client,
-            sim_.fork_rng(0xC11E017 + clients_.size()),
-            cfg_.workload.reroute_on_dc_outage,
-            cfg_.workload.shed_retry_limit));
-        if (deferred_) ++dc_[d].clients;
+      for (auto& c : clients_) {
+        // Sharded: the start stagger (and every event it transitively books)
+        // belongs to the client's home-DC shard.
+        sim_.set_setup_shard(deferred_ ? c->home_dc() : 0);
+        c->start();
       }
+      sim_.set_setup_shard(0);
     }
-    for (auto& c : clients_) {
-      // Sharded: the start stagger (and every event it transitively books)
-      // belongs to the client's home-DC shard.
-      sim_.set_setup_shard(deferred_ ? c->home_dc() : 0);
-      c->start();
-    }
-    sim_.set_setup_shard(0);
 
     // Scheduled failure injection (legacy kill/revive list, closure lane;
     // the constructor rejects it under sharding).
@@ -120,9 +124,15 @@ class Runner final : public ClientEnv {
             DcState& s = dc_[d];
             s.measuring = true;
             s.ops_at_measure_start = s.ops_completed;
+            if (d < src_by_dc_.size() && src_by_dc_[d] != nullptr) {
+              src_by_dc_[d]->set_measuring(true);
+            }
           });
         } else {
           dc_[d].measuring = true;
+          if (d < src_by_dc_.size() && src_by_dc_[d] != nullptr) {
+            src_by_dc_[d]->set_measuring(true);
+          }
         }
       }
       sim_.set_setup_shard(0);
@@ -132,7 +142,16 @@ class Runner final : public ClientEnv {
       begin_measurement();
     }
 
-    sim_.run();
+    if (cfg_.workload.open_loop.enabled) {
+      // Open-loop runs are time-bounded: generation stops at `duration`,
+      // in-flight work gets `drain_grace` to land, and whatever is still
+      // queued or in flight at the horizon stays in the ledger as an
+      // explicit remainder instead of extending the run.
+      sim_.run_until(cfg_.workload.open_loop.duration +
+                     cfg_.workload.open_loop.drain_grace);
+    } else {
+      sim_.run();
+    }
     return collect();
   }
 
@@ -274,7 +293,7 @@ class Runner final : public ClientEnv {
       return;
     }
     ++clients_finished_;
-    if (clients_finished_ == clients_.size()) {
+    if (clients_finished_ == clients_.size() + sources_.size()) {
       // Budget drained: stop the retuning timer so the queue can empty.
       policy_timer_.stop();
       finish_time_ = sim_.now();
@@ -310,6 +329,22 @@ class Runner final : public ClientEnv {
   /// Runs in the constructor's member-init list: shards must be configured
   /// after the Simulation exists but before the Cluster (or anything else)
   /// schedules its first event.
+  /// Sharded slot pools never grow mid-window, so their reserve must cover
+  /// the worst-case in-flight population. The open-loop engine states that
+  /// bound explicitly (max_in_flight_per_dc, one coordinator slot per op,
+  /// doubled for hedge/repair legs); closed-loop runs keep the default.
+  static cluster::ClusterConfig sized_cluster_config(const RunConfig& cfg) {
+    cluster::ClusterConfig c = cfg.cluster;
+    if (cfg.num_shard_threads > 0 && cfg.workload.open_loop.enabled) {
+      const std::uint64_t want =
+          2ull * cfg.workload.open_loop.max_in_flight_per_dc;
+      if (want > c.sharded_slot_reserve) {
+        c.sharded_slot_reserve = static_cast<std::uint32_t>(want);
+      }
+    }
+    return c;
+  }
+
   static sim::Simulation& shard_configured(sim::Simulation& sim,
                                            const RunConfig& cfg) {
     if (cfg.num_shard_threads > 0) {
@@ -339,7 +374,10 @@ class Runner final : public ClientEnv {
     for (std::size_t d = 0; d < dcs; ++d) {
       DcState& s = dc_[d];
       s.op_rng = sim_.fork_rng(0x0FAB5EED + 0x9E37 * (d + 1));
-      s.request_dist = cfg_.workload.request_dist.build(cfg_.workload.record_count);
+      // Clone the already-built distribution instead of rebuilding: build()
+      // re-runs the O(record_count) zeta harmonic sums per DC, clone() just
+      // copies the finished constants (identical state either way).
+      s.request_dist = request_dist_->clone();
       const bool hosts = cfg_.workload.client_dc < 0 ||
                          d == static_cast<std::size_t>(cfg_.workload.client_dc);
       if (hosts) {
@@ -354,6 +392,49 @@ class Runner final : public ClientEnv {
     measuring_ = true;
     measure_start_ = sim_.now();
     ops_at_measure_start_ = ops_completed_;
+    for (auto& s : sources_) s->set_measuring(true);
+  }
+
+  /// One OpenLoopSource per client-hosting DC in place of the closed-loop
+  /// clients; each gets an equal share of the aggregate arrival rate, its
+  /// own RNG fork, a clone of the shared request distribution, and an
+  /// interleaved insert-key lane (see workload/open_loop.h).
+  void setup_open_loop() {
+    const OpenLoopSpec& ol = cfg_.workload.open_loop;
+    HARMONY_CHECK_MSG(cfg_.warmup < ol.duration,
+                      "open-loop warmup must end before generation stops");
+    const std::size_t dcs = cfg_.cluster.dc_count;
+    std::size_t active = 0;
+    for (std::size_t d = 0; d < dcs; ++d) {
+      if (cfg_.workload.client_dc < 0 ||
+          d == static_cast<std::size_t>(cfg_.workload.client_dc)) {
+        ++active;
+      }
+    }
+    HARMONY_CHECK(active > 0);
+    // One shared zeta computation for the million-user population; every
+    // source copies the finished constants instead of re-summing O(users).
+    const ScrambledZipfianKeys users(ol.user_count, ol.user_zipf_theta);
+    src_by_dc_.assign(dcs, nullptr);
+    for (std::size_t d = 0; d < dcs; ++d) {
+      if (cfg_.workload.client_dc >= 0 &&
+          d != static_cast<std::size_t>(cfg_.workload.client_dc)) {
+        continue;
+      }
+      sources_.push_back(std::make_unique<OpenLoopSource>(
+          *this, static_cast<net::DcId>(d), cfg_.workload,
+          ol.rate_per_s / static_cast<double>(active),
+          /*insert_lane=*/d, /*insert_stride=*/dcs,
+          sim_.fork_rng(0x01E27007 + 0x9E37 * (d + 1)),
+          request_dist_->clone(), users));
+      src_by_dc_[d] = sources_.back().get();
+      if (deferred_) ++dc_[d].clients;
+    }
+    for (auto& s : sources_) {
+      sim_.set_setup_shard(deferred_ ? s->dc() : 0);
+      s->start();
+    }
+    sim_.set_setup_shard(0);
   }
 
   void note_progress() {
@@ -442,6 +523,17 @@ class Runner final : public ClientEnv {
     r.hedges_fired = cluster_.hedges_fired();
     r.hedge_wins = cluster_.hedge_wins();
     r.sheds = cluster_.sheds();
+    if (!sources_.empty()) {
+      for (const auto& s : sources_) s->collect(r.open_loop);
+      OpenLoopResult& ol = r.open_loop;
+      ol.sla_attainment =
+          ol.sla_total ? static_cast<double>(ol.sla_ok) /
+                             static_cast<double>(ol.sla_total)
+                       : 0.0;
+      const double gen_s = to_seconds(cfg_.workload.open_loop.duration);
+      ol.offered_rate =
+          gen_s > 0 ? static_cast<double>(ol.arrivals) / gen_s : 0.0;
+    }
     for (const auto& c : clients_) {
       r.client_shed_retries += c->shed_retries();
       r.rerouted_ops += c->rerouted_ops();
@@ -457,6 +549,10 @@ class Runner final : public ClientEnv {
   std::unique_ptr<KeyDistribution> request_dist_;
   std::unique_ptr<policy::ConsistencyPolicy> policy_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<OpenLoopSource>> sources_;
+  /// dc -> its open-loop source (nullptr for non-hosting DCs / closed loop);
+  /// the sharded warmup flip uses it to reach the shard's source.
+  std::vector<OpenLoopSource*> src_by_dc_;
   sim::PeriodicTimer policy_timer_;
   /// True when the simulation runs per-DC shards (shard_count > 1): client
   /// callbacks then use dc_ instead of the serial members below.

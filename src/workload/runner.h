@@ -14,6 +14,7 @@
 #include "cost/billing.h"
 #include "cost/energy.h"
 #include "monitor/monitor.h"
+#include "workload/open_loop.h"
 #include "workload/policy.h"
 #include "workload/spec.h"
 #include "workload/trace.h"
@@ -125,6 +126,11 @@ struct RunResult {
   // `timeouts` above counts only requests that exhausted every attempt; a
   // request rescued by a retry or hedge shows up in `retries`/`hedge_wins`
   // instead of being double-counted as a timeout.
+  // ---- open-loop overload ledger (whole run) --------------------------------
+  /// Populated only when WorkloadSpec::open_loop.enabled: the explicit
+  /// arrivals / sheds / in-flight accounting of the open-loop engine.
+  OpenLoopResult open_loop;
+
   std::uint64_t retries = 0;           ///< coordinator read retry attempts
   std::uint64_t hedges_fired = 0;      ///< speculative backup reads sent
   std::uint64_t hedge_wins = 0;        ///< hedge legs that completed the read

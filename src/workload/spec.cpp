@@ -16,6 +16,44 @@ std::string to_string(OpType t) {
   return "?";
 }
 
+std::string to_string(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kSelfSimilar: return "self-similar";
+  }
+  return "?";
+}
+
+std::string to_string(RateCurve c) {
+  switch (c) {
+    case RateCurve::kConstant: return "constant";
+    case RateCurve::kDiurnal: return "diurnal";
+    case RateCurve::kFlashCrowd: return "flash-crowd";
+  }
+  return "?";
+}
+
+void OpenLoopSpec::validate() const {
+  if (!enabled) return;
+  HARMONY_CHECK(rate_per_s > 0);
+  HARMONY_CHECK(duration > 0);
+  HARMONY_CHECK(drain_grace >= 0);
+  HARMONY_CHECK(diurnal_period > 0);
+  HARMONY_CHECK_MSG(diurnal_amplitude >= 0 && diurnal_amplitude < 1,
+                    "diurnal amplitude must keep lambda(t) > 0");
+  HARMONY_CHECK(flash_ramp > 0);
+  HARMONY_CHECK(flash_hold >= 0);
+  HARMONY_CHECK(flash_multiplier >= 1.0);
+  HARMONY_CHECK_MSG(pareto_alpha > 1.0 && pareto_alpha <= 2.0,
+                    "pareto_alpha in (1,2]: alpha <= 1 has no finite mean");
+  HARMONY_CHECK(user_count > 0);
+  HARMONY_CHECK(user_zipf_theta > 0 && user_zipf_theta < 1);
+  HARMONY_CHECK(user_affinity >= 0 && user_affinity <= 1);
+  HARMONY_CHECK(max_in_flight_per_dc > 0);
+  HARMONY_CHECK(queue_capacity_per_dc > 0);
+  HARMONY_CHECK(sla_latency > 0);
+}
+
 void WorkloadSpec::validate() const {
   HARMONY_CHECK(record_count > 0);
   HARMONY_CHECK(op_count > 0);
@@ -25,6 +63,7 @@ void WorkloadSpec::validate() const {
                        insert_proportion + rmw_proportion;
   HARMONY_CHECK_MSG(std::abs(total - 1.0) < 1e-9,
                     "operation proportions must sum to 1");
+  open_loop.validate();
 }
 
 WorkloadSpec WorkloadSpec::scaled(double factor) const {

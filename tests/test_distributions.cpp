@@ -86,6 +86,36 @@ TEST(ZipfianKeys, GrowKeepsDistributionValid) {
   for (int i = 0; i < 1000; ++i) ASSERT_LT(d.next(rng), 200u);
 }
 
+TEST(ZipfianKeys, IncrementalGrowMatchesFromScratch) {
+  // grow() extends the zeta harmonic sum incrementally (YCSB / Gray et al.)
+  // from the old n instead of re-summing from 1. The incremental path adds
+  // the same terms in the same left-to-right order as a from-scratch
+  // construction, so the resulting constants — and therefore every pmf value
+  // and every future draw — are bit-identical, not merely close.
+  ZipfianKeys grown(100, 0.99);
+  grown.grow(5000);
+  ZipfianKeys fresh(5000, 0.99);
+  for (const std::uint64_t r : {0ULL, 1ULL, 99ULL, 100ULL, 2500ULL, 4999ULL}) {
+    EXPECT_DOUBLE_EQ(grown.pmf(r), fresh.pmf(r)) << "rank " << r;
+  }
+  Rng a(21), b(21);
+  for (int i = 0; i < 2000; ++i) ASSERT_EQ(grown.next(a), fresh.next(b)) << i;
+}
+
+TEST(ZipfianKeys, GrowByOneIsIncrementalNotQuadratic) {
+  // Insert workloads grow the domain one key at a time. A from-scratch zeta
+  // recompute per grow() would make this loop O(n^2) over ~1.1e10 pow()
+  // calls — it visibly hangs instead of finishing in milliseconds — while
+  // still landing on the same constants, so the pmf check alone would not
+  // catch the regression.
+  ZipfianKeys d(1, 0.99);
+  for (std::uint64_t n = 2; n <= 150'000; ++n) d.grow(n);
+  EXPECT_EQ(d.item_count(), 150'000u);
+  const ZipfianKeys fresh(150'000, 0.99);
+  EXPECT_DOUBLE_EQ(d.pmf(0), fresh.pmf(0));
+  EXPECT_DOUBLE_EQ(d.pmf(149'999), fresh.pmf(149'999));
+}
+
 TEST(ScrambledZipfian, SpreadsHotKeys) {
   Rng rng(11);
   ScrambledZipfianKeys d(10000);
@@ -122,6 +152,50 @@ TEST(LatestKeys, GrowMovesFrontier) {
   bool saw_new = false;
   for (int i = 0; i < 2000; ++i) saw_new |= d.next(rng) >= 100;
   EXPECT_TRUE(saw_new);
+}
+
+TEST(LatestKeys, SingleItemAlwaysReturnsZero) {
+  // n == 1: the recency reflection is n-1-rank with rank clamped to n-1, so
+  // the only legal result is index 0 — never an out-of-range key.
+  Rng rng(23);
+  LatestKeys d(1);
+  EXPECT_EQ(d.item_count(), 1u);
+  for (int i = 0; i < 2000; ++i) ASSERT_EQ(d.next(rng), 0u);
+}
+
+TEST(LatestKeys, FullRankSpreadStaysInRange) {
+  // The extreme ranks map to the domain edges: rank 0 -> frontier n-1,
+  // rank n-1 -> index 0. Both edges must be reachable and nothing may fall
+  // outside [0, n), including after the zipfian tail clamps rank to n-1.
+  Rng rng(29);
+  LatestKeys two(2);
+  bool saw0 = false, saw1 = false;
+  for (int i = 0; i < 4000; ++i) {
+    const auto k = two.next(rng);
+    ASSERT_LT(k, 2u);
+    saw0 |= k == 0;
+    saw1 |= k == 1;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+  LatestKeys d(1000);
+  for (int i = 0; i < 100'000; ++i) ASSERT_LT(d.next(rng), 1000u);
+}
+
+TEST(LatestKeys, FrontierIsHottestAfterGrow) {
+  Rng rng(31);
+  LatestKeys d(10);
+  d.grow(1000);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto k = d.next(rng);
+    ASSERT_LT(k, 1000u);
+    ++counts[k];
+  }
+  for (const auto& [k, c] : counts) {
+    if (k == 999) continue;
+    EXPECT_GE(counts[999], c) << "key " << k;
+  }
 }
 
 TEST(HotSpotKeys, RespectsFractions) {
