@@ -335,7 +335,8 @@ int main(int argc, char** argv) {
         "Scale 3/3: determinism — reruns and shard threads",
         "9 nodes / 3 DCs (1ms cross-DC floor), flash-crowd overload; the "
         "same seed must reproduce every counter and percentile exactly for "
-        "reruns and for 1/2/4 shard worker threads");
+        "reruns and for 1/2/4 shard worker threads — then again for a "
+        "single DC split into 4 key-range shards");
 
     auto make = [&](unsigned threads) {
       auto cfg = open_config(p, saturating, args.seed);
@@ -388,6 +389,37 @@ int main(int argc, char** argv) {
     pass &= same(serial, rerun, "rerun, same seed");
     pass &= same(serial, two, "2 shard threads");
     pass &= same(serial, four, "4 shard threads");
+
+    // Key-range variant: a *single-DC* open-loop run split into 4 key-range
+    // shards (one source per shard, ownership-filtered key streams). PR 8
+    // could not thread this topology at all; the determinism bar is the
+    // same — 1/2/4 workers reproduce the merged-serial ledger exactly.
+    auto make_kr = [&](unsigned threads) {
+      auto cfg = open_config(p, saturating, args.seed);
+      cfg.label = "kr-threads=" + std::to_string(threads);
+      cfg.cluster.node_count = 8;
+      cfg.cluster.dc_count = 1;
+      cfg.cluster.latency.cross_dc.floor = kMillisecond;
+      cfg.cluster.latency.same_rack.floor = usec(150);
+      cfg.cluster.latency.same_dc.floor = usec(150);
+      cfg.workload.open_loop.curve = workload::RateCurve::kFlashCrowd;
+      cfg.workload.open_loop.flash_at = p.duration / 2;
+      cfg.workload.open_loop.flash_ramp = p.duration / 10;
+      cfg.workload.open_loop.flash_hold = p.duration / 5;
+      cfg.num_shard_threads = threads;
+      cfg.shards_per_dc = 4;
+      return cfg;
+    };
+    const auto kr_serial = workload::run_experiment(make_kr(1));
+    const auto kr_two = workload::run_experiment(make_kr(2));
+    const auto kr_four = workload::run_experiment(make_kr(4));
+    std::printf("key-range 1 DC x 4 shards: %llu arrivals, %llu events\n",
+                static_cast<unsigned long long>(kr_serial.open_loop.arrivals),
+                static_cast<unsigned long long>(kr_serial.sim_events));
+    pass &= ledger_conserved(kr_serial.open_loop, "kr-threads=1");
+    pass &= same(kr_serial, kr_two, "key-range, 2 threads");
+    pass &= same(kr_serial, kr_four, "key-range, 4 threads");
+
     all_pass = all_pass && pass;
     std::printf("%s: byte-identical ledger and percentiles across reruns and "
                 "shard-thread counts\n\n",

@@ -72,21 +72,29 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
 
   // Per-shard request-path state. One instance when the simulation is
   // unsharded (or sharded with a single shard — the merged-serial anchor);
-  // one per DC otherwise. Shard RNGs fork before the node RNGs below, in
-  // shard order, so a single-shard cluster replays the historical master-RNG
-  // draw sequence byte for byte.
+  // one per event shard otherwise (a shard per DC, or S_d key-range shards
+  // per DC when the simulation carries a shard plan). Shard RNGs fork before
+  // the node RNGs below, in shard order, so a single-shard cluster replays
+  // the historical master-RNG draw sequence byte for byte.
   const std::uint32_t shard_count = sim.shard_count();
   deferred_ = shard_count > 1;
   if (deferred_) {
-    HARMONY_CHECK_MSG(shard_count == cfg_.dc_count,
-                      "sharded execution partitions by DC: configure_shards "
-                      "count must equal dc_count (or 1)");
-    HARMONY_CHECK_MSG(cfg_.anti_entropy_period == 0,
-                      "anti-entropy sweeps walk every replica from one shard; "
-                      "disable them under shard_count > 1");
+    // Validates the plan (one entry per DC summing to shard_count; without a
+    // plan, exactly one shard per DC) and maps nodes/key ranges to shards.
+    shard_map_.build(topo_, sim.shard_plan(), shard_count);
     HARMONY_CHECK_MSG(cfg_.latency.cross_dc.floor >= sim.lookahead(),
                       "conservative sharding needs every cross-DC link delay "
                       ">= the configured lookahead (set cross_dc.floor)");
+    if (shard_map_.multi_shard_dc()) {
+      // Splitting a DC into key-range shards makes same-rack/same-DC hops
+      // (write fan-out, acks, repairs between co-located replicas) possible
+      // cross-shard events, so those latency classes need floors covering
+      // the lookahead too — not just cross-DC.
+      HARMONY_CHECK_MSG(cfg_.latency.same_rack.floor >= sim.lookahead() &&
+                            cfg_.latency.same_dc.floor >= sim.lookahead(),
+                        "key-range sharding makes intra-DC hops cross-shard: "
+                        "same_rack/same_dc floors must cover the lookahead");
+    }
   }
   shards_.reserve(shard_count);
   for (std::uint32_t s = 0; s < shard_count; ++s) {
@@ -132,8 +140,27 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig cfg)
   latency_mult_.assign(cfg_.node_count, 1.0);
   if (cfg_.resilience.admission_rate > 0) {
     // Buckets start full so a run's leading edge is not spuriously shed.
-    admission_.assign(cfg_.dc_count,
-                      TokenBucket{cfg_.resilience.admission_burst, 0, {}});
+    // Sharded: one bucket per shard carrying 1/S_d of its DC's rate and
+    // burst, so shards admit independently (no cross-shard bucket mutation)
+    // while the per-DC aggregate matches the configuration; S_d == 1 divides
+    // by 1.0 — exact, byte-identical to the per-DC buckets.
+    admission_.resize(deferred_ ? shard_count : cfg_.dc_count);
+    for (std::size_t b = 0; b < admission_.size(); ++b) {
+      const double split =
+          deferred_ ? static_cast<double>(shard_map_.shards_in_dc(
+                          shard_map_.dc_of_shard(static_cast<std::uint32_t>(b))))
+                    : 1.0;
+      admission_[b].rate = cfg_.resilience.admission_rate / split;
+      admission_[b].burst = cfg_.resilience.admission_burst / split;
+      admission_[b].tokens = admission_[b].burst;
+    }
+  }
+  if (deferred_ && cfg_.anti_entropy_period > 0) {
+    // Sharded anti-entropy rides fenced instants: the sweep mutates stores
+    // and dirty sets across shards, so every sweep runs merged-serial. Armed
+    // here for the first period; the sweep re-arms itself while the
+    // simulation still has pending events.
+    arm_anti_entropy_fence(cfg_.anti_entropy_period);
   }
 }
 
@@ -208,14 +235,23 @@ net::NodeId Cluster::pick_coordinator(net::DcId dc, Rng& rng) {
     }
     return -1;  // unreachable
   };
+  if (deferred_) {
+    // A node's coordinator state (service queue, busy time) is owned by
+    // exactly one shard, so the pick must stay inside the executing shard's
+    // node list — which IS the DC's list under the one-shard-per-DC plan
+    // (identical candidates, identical draw), and that shard's round-robin
+    // slice of it under key-range sharding.
+    const int sc = pick_from(shard_map_.nodes_of_shard(sim_->current_shard()));
+    HARMONY_CHECK_MSG(sc >= 0,
+                      "sharded execution requires an alive coordinator in the "
+                      "request's shard");
+    return static_cast<net::NodeId>(sc);
+  }
   int c = pick_from(topo_.nodes_in_dc(dc));
   if (c >= 0) return static_cast<net::NodeId>(c);
-  // Whole-DC outage: fall back to any alive node. Coordinators must stay in
-  // the request's shard under sharded execution, so this path (like the DC
-  // blackout faults that cause it) is serial-only.
-  HARMONY_CHECK_MSG(!deferred_,
-                    "sharded execution requires an alive coordinator in the "
-                    "client's DC");
+  // Whole-DC outage: fall back to any alive node (sharded runs failed above
+  // instead — like the DC blackout faults that cause this, the fallback is
+  // serial-only).
   c = pick_from(std::views::iota(
       net::NodeId{0}, static_cast<net::NodeId>(topo_.node_count())));
   HARMONY_CHECK_MSG(c >= 0, "no alive node to coordinate");
@@ -291,6 +327,12 @@ void Cluster::client_write(net::DcId client_dc, Key key, std::uint32_t size,
                            ReplicaRequirement req, WriteCallback cb,
                            net::DcId origin_dc) {
   ShardState& st = here();
+  // The workload layer routes each operation to home_shard(client_dc, key);
+  // the cluster only asserts the shard belongs to the client's DC (request
+  // state lives here, the coordinator pool is this shard's node list).
+  HARMONY_CHECK_MSG(
+      !deferred_ || shard_map_.dc_of_shard(sim_->current_shard()) == client_dc,
+      "sharded writes must be issued from a shard of the client's DC");
   // Acquired slots come back in default state (release resets them), so only
   // the non-default fields need touching.
   HARMONY_CHECK_MSG(!deferred_ ||
@@ -336,7 +378,7 @@ void Cluster::start_write(WriteHandle h) {
           wait <= cfg_.resilience.admission_max_delay) {
         // Pre-pay the token (the bucket goes negative, queueing followers
         // behind this request) and re-enter once it is covered.
-        admission_[w.client_dc].tokens -= 1.0;
+        admission_bucket(w.client_dc).tokens -= 1.0;
         w.admitted = true;
         TypedEvent ev = cluster_event(EventKind::kStartWrite, this);
         ev.shard = static_cast<std::uint8_t>(st.id);
@@ -401,8 +443,11 @@ void Cluster::start_write(WriteHandle h) {
   w.alive_targets = alive_total;
 
   if (cfg_.anti_entropy_period > 0) {
-    dirty_keys_.insert(w.key);
-    if (!anti_entropy_scheduled_) {
+    // Dirty marking stays shard-local; the sweep (lazily scheduled when
+    // unsharded, fence-armed at construction when sharded) walks every
+    // shard's set and deduplicates keys dirtied from several DCs.
+    st.dirty_keys.insert(w.key);
+    if (!deferred_ && !anti_entropy_scheduled_) {
       anti_entropy_scheduled_ = true;
       sim_->schedule_event(cfg_.anti_entropy_period,
                            cluster_event(EventKind::kAntiEntropySweep, this));
@@ -449,9 +494,7 @@ void Cluster::replica_apply_write(WriteHandle h, net::NodeId replica,
     if (!deferred_) {
       ++w.completed_targets;
       if (w.completed_targets == w.alive_targets) {
-        if (observer_ != nullptr) {
-          observer_->on_write_propagated(w.key, w.start, w.delays);
-        }
+        observer_write_propagated(w.key, w.start, w.delays);
         if (w.delivered) shards_[home]->pending_writes.release(h);
       }
       return;
@@ -514,9 +557,7 @@ void Cluster::write_ack(WriteHandle h, net::NodeId replica,
     // Lifecycle-only completion: the replica died mid-flight (see
     // replica_apply_write's sharded path); no consistency credit.
     if (w.completed_targets == w.alive_targets) {
-      if (observer_ != nullptr) {
-        observer_->on_write_propagated(w.key, w.start, w.delays);
-      }
+      observer_write_propagated(w.key, w.start, w.delays);
       if (w.delivered) st.pending_writes.release(h);
     }
     return;
@@ -543,8 +584,8 @@ void Cluster::write_ack(WriteHandle h, net::NodeId replica,
 
   // Report propagation completion before finish_write may erase the entry.
   const bool propagation_done = w.completed_targets == w.alive_targets;
-  if (propagation_done && observer_ != nullptr) {
-    observer_->on_write_propagated(w.key, w.start, w.delays);
+  if (propagation_done) {
+    observer_write_propagated(w.key, w.start, w.delays);
   }
 
   if (met && !w.responded) finish_write(h, true);
@@ -620,6 +661,10 @@ void Cluster::write_deliver(WriteHandle h) {
 void Cluster::client_read(net::DcId client_dc, Key key, ReplicaRequirement req,
                           ReadCallback cb, net::DcId origin_dc) {
   ShardState& st = here();
+  // See client_write: issuing shard must belong to the client's DC.
+  HARMONY_CHECK_MSG(
+      !deferred_ || shard_map_.dc_of_shard(sim_->current_shard()) == client_dc,
+      "sharded reads must be issued from a shard of the client's DC");
   HARMONY_CHECK_MSG(!deferred_ ||
                         st.pending_reads.live() < st.pending_reads.capacity(),
                     "sharded_slot_reserve exhausted (pending reads)");
@@ -661,7 +706,7 @@ void Cluster::start_read(ReadHandle h) {
     if (wait > 0) {
       if (cfg_.resilience.admission_mode == AdmissionMode::kDelay &&
           wait <= cfg_.resilience.admission_max_delay) {
-        admission_[r.client_dc].tokens -= 1.0;  // pre-pay (see start_write)
+        admission_bucket(r.client_dc).tokens -= 1.0;  // pre-pay (see start_write)
         r.admitted = true;
         TypedEvent ev = cluster_event(EventKind::kStartRead, this);
         ev.shard = static_cast<std::uint8_t>(st.id);
@@ -895,12 +940,12 @@ void Cluster::observe_read_rtt(ShardState& st, SimDuration rtt) {
 }
 
 SimDuration Cluster::admit(net::DcId dc) {
-  TokenBucket& b = admission_[dc];
-  const ResilienceConfig& rc = cfg_.resilience;
+  // Rate and burst live in the bucket: per DC unsharded, per shard (1/S_d of
+  // the DC's configuration) sharded.
+  TokenBucket& b = admission_bucket(dc);
   const SimTime now = sim_->now();
-  b.tokens = std::min(rc.admission_burst,
-                      b.tokens + static_cast<double>(now - b.last) *
-                                     rc.admission_rate / 1e6);
+  b.tokens = std::min(
+      b.burst, b.tokens + static_cast<double>(now - b.last) * b.rate / 1e6);
   b.last = now;
   if (b.tokens >= 1.0) {
     b.tokens -= 1.0;
@@ -908,7 +953,7 @@ SimDuration Cluster::admit(net::DcId dc) {
   }
   // Time until the bucket covers one token; doubles as the shed retry-after.
   const double deficit = 1.0 - b.tokens;
-  return static_cast<SimDuration>(deficit * 1e6 / rc.admission_rate) + 1;
+  return static_cast<SimDuration>(deficit * 1e6 / b.rate) + 1;
 }
 
 void Cluster::read_shed(ReadHandle h, SimDuration retry_after) {
@@ -996,7 +1041,7 @@ void Cluster::read_response(ReadHandle h, net::NodeId replica, bool found,
     // rtt here is service + return hop; add nothing for the request hop since
     // the observer wants replica responsiveness, which this approximates.
     const bool cross = live && !topo_.same_dc(rp->coord, replica);
-    observer_->on_replica_read_rtt(replica, rtt, cross);
+    observer_replica_read_rtt(replica, rtt, cross);
   }
   if (!live) return;
   PendingRead& r = *rp;
@@ -1192,7 +1237,13 @@ void Cluster::oracle_judge_end(Key key, const Version& returned,
 }
 
 void Cluster::barrier_hook(void* ctx, SimTime safe_time) {
-  static_cast<Cluster*>(ctx)->apply_oracle_logs(safe_time);
+  Cluster* c = static_cast<Cluster*>(ctx);
+  c->apply_oracle_logs(safe_time);
+  c->apply_monitor_logs(safe_time);
+  // Cross-shard aggregates (net_stats) memoize on the barrier epoch: bumping
+  // it here invalidates the merged snapshot exactly when per-shard state may
+  // have advanced.
+  ++c->barrier_epoch_;
 }
 
 void Cluster::apply_oracle_logs(SimTime safe_time) {
@@ -1238,6 +1289,142 @@ void Cluster::apply_oracle_logs(SimTime safe_time) {
     if (sp->oracle_pos == sp->oracle_log.size() && sp->oracle_pos > 0) {
       sp->oracle_log.clear();
       sp->oracle_pos = 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------- deferred observer
+
+// The observer (monitor/monitor.h) couples all six callback kinds through one
+// last-event timestamp and one reservoir RNG, so sharded runs cannot invoke
+// it mid-window from racing shards. Like the oracle, every observer touch
+// appends to the executing shard's log; the barrier hook K-way-merges the
+// logs in (time, seq) order — the serial call order — and replays them with
+// the op's own timestamp as `now`.
+
+Cluster::MonitorOp& Cluster::append_monitor_op(MonitorOp::Kind kind) {
+  // Amortized per-shard log append (vector growth), recycled by the barrier
+  // hook; sharded runs only — unsharded callers dispatch directly.
+  auto& log = here().monitor_log;
+  log.emplace_back();
+  MonitorOp& op = log.back();
+  op.at = sim_->now();
+  op.seq = sim_->current_seq();
+  op.kind = kind;
+  return op;
+}
+
+void Cluster::record_read_issued(Key key) {
+  if (observer_ == nullptr) return;
+  if (!deferred_) {
+    observer_->record_read_issued(sim_->now(), key);
+    return;
+  }
+  append_monitor_op(MonitorOp::Kind::kReadIssued).key = key;
+}
+
+void Cluster::record_write_issued(Key key, std::uint32_t value_size) {
+  if (observer_ == nullptr) return;
+  if (!deferred_) {
+    observer_->record_write_issued(sim_->now(), key, value_size);
+    return;
+  }
+  MonitorOp& op = append_monitor_op(MonitorOp::Kind::kWriteIssued);
+  op.key = key;
+  op.size = value_size;
+}
+
+void Cluster::record_read_complete(SimDuration latency) {
+  if (observer_ == nullptr) return;
+  if (!deferred_) {
+    observer_->record_read_complete(sim_->now(), latency);
+    return;
+  }
+  append_monitor_op(MonitorOp::Kind::kReadComplete).dur = latency;
+}
+
+void Cluster::record_write_complete(SimDuration latency) {
+  if (observer_ == nullptr) return;
+  if (!deferred_) {
+    observer_->record_write_complete(sim_->now(), latency);
+    return;
+  }
+  append_monitor_op(MonitorOp::Kind::kWriteComplete).dur = latency;
+}
+
+void Cluster::observer_write_propagated(Key key, SimTime write_start,
+                                        const DelayList& delays) {
+  if (observer_ == nullptr) return;
+  if (!deferred_) {
+    observer_->on_write_propagated(key, write_start, delays);
+    return;
+  }
+  MonitorOp& op = append_monitor_op(MonitorOp::Kind::kWritePropagated);
+  op.key = key;
+  op.write_start = write_start;
+  op.delays = delays;
+}
+
+void Cluster::observer_replica_read_rtt(net::NodeId replica, SimDuration rtt,
+                                        bool cross_dc) {
+  if (observer_ == nullptr) return;
+  if (!deferred_) {
+    observer_->on_replica_read_rtt(replica, rtt, cross_dc);
+    return;
+  }
+  MonitorOp& op = append_monitor_op(MonitorOp::Kind::kReplicaReadRtt);
+  op.replica = replica;
+  op.dur = rtt;
+  op.cross_dc = cross_dc;
+}
+
+void Cluster::apply_monitor_logs(SimTime safe_time) {
+  if (observer_ == nullptr) return;
+  // K-way merge by (at, seq), identical to apply_oracle_logs: every op dated
+  // strictly before the barrier's safe time is final on its shard.
+  for (;;) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const ShardState& st = *shards_[s];
+      if (st.monitor_pos >= st.monitor_log.size()) continue;
+      const MonitorOp& op = st.monitor_log[st.monitor_pos];
+      if (op.at >= safe_time) continue;  // logs are time-sorted: shard done
+      if (best >= 0) {
+        const ShardState& bs = *shards_[best];
+        const MonitorOp& bop = bs.monitor_log[bs.monitor_pos];
+        const bool less = op.at < bop.at || (op.at == bop.at && op.seq < bop.seq);
+        if (!less) continue;
+      }
+      best = static_cast<int>(s);
+    }
+    if (best < 0) break;
+    ShardState& st = *shards_[best];
+    const MonitorOp& op = st.monitor_log[st.monitor_pos++];
+    switch (op.kind) {
+      case MonitorOp::Kind::kReadIssued:
+        observer_->record_read_issued(op.at, op.key);
+        break;
+      case MonitorOp::Kind::kWriteIssued:
+        observer_->record_write_issued(op.at, op.key, op.size);
+        break;
+      case MonitorOp::Kind::kReadComplete:
+        observer_->record_read_complete(op.at, op.dur);
+        break;
+      case MonitorOp::Kind::kWriteComplete:
+        observer_->record_write_complete(op.at, op.dur);
+        break;
+      case MonitorOp::Kind::kWritePropagated:
+        observer_->on_write_propagated(op.key, op.write_start, op.delays);
+        break;
+      case MonitorOp::Kind::kReplicaReadRtt:
+        observer_->on_replica_read_rtt(op.replica, op.dur, op.cross_dc);
+        break;
+    }
+  }
+  for (const auto& sp : shards_) {
+    if (sp->monitor_pos == sp->monitor_log.size() && sp->monitor_pos > 0) {
+      sp->monitor_log.clear();
+      sp->monitor_pos = 0;
     }
   }
 }
@@ -1360,18 +1547,58 @@ void Cluster::anti_entropy_sweep() {
   // Repair the keys written since the last sweep: compare every replica's
   // stored version and push the newest to stragglers. Messaging costs are
   // charged like regular repairs (digest per replica + repair writes).
-  // Disallowed under sharding (ctor check): the sweep walks every replica.
   anti_entropy_scheduled_ = false;
+  std::size_t budget = cfg_.anti_entropy_keys_per_round;
+  if (!deferred_) {
+    sweep_shard_dirty(*shards_[0], budget);
+    if (!shards_[0]->dirty_keys.empty() && !anti_entropy_scheduled_) {
+      anti_entropy_scheduled_ = true;
+      sim_->schedule_event(cfg_.anti_entropy_period,
+                           cluster_event(EventKind::kAntiEntropySweep, this));
+    }
+    return;
+  }
+  // Sharded: this instant is a fence, so we run merged-serial and may touch
+  // every shard's replica state; walk the per-shard dirty sets in shard-id
+  // order under one global budget. The sweep stays armed as long as any
+  // events remain (dirty sets refill between rounds), which keeps arming
+  // eager — a fence must be registered from outside a window, so the lazy
+  // "arm on first dirty key" trick of the serial path cannot work here.
+  for (auto& sp : shards_) {
+    if (budget == 0) break;
+    budget -= sweep_shard_dirty(*sp, budget);
+  }
+  // Re-arm while repair work remains (budget-deferred dirty keys) or the
+  // queue still holds events that can dirty more. The workload's fenced
+  // policy tick stops on its own client-drain criterion rather than on
+  // sim idleness, so the two self-re-arming fence sources cannot hold each
+  // other live past the end of the run.
+  bool dirty = false;
+  for (const auto& sp : shards_) dirty |= !sp->dirty_keys.empty();
+  if (dirty || !sim_->idle()) {
+    arm_anti_entropy_fence(sim_->now() + cfg_.anti_entropy_period);
+  }
+}
+
+std::size_t Cluster::sweep_shard_dirty(ShardState& st, std::size_t budget) {
   std::size_t repaired = 0;
   // lint: allow(determinism-unordered-iter): order is stdlib-dependent but
   // fixed for a given build+insertion sequence, and the diff harness pins it
-  // byte-for-byte; sharded runs reject anti-entropy outright.
-  auto it = dirty_keys_.begin();
-  while (it != dirty_keys_.end() &&
-         repaired < cfg_.anti_entropy_keys_per_round) {
+  // byte-for-byte; sharded runs sweep at fenced merged-serial instants, so
+  // the insertion sequence itself is thread-count-invariant.
+  auto it = st.dirty_keys.begin();
+  while (it != st.dirty_keys.end() && repaired < budget) {
     const Key key = *it;
-    it = dirty_keys_.erase(it);
+    it = st.dirty_keys.erase(it);
     ++repaired;
+    if (deferred_) {
+      // A key whose replicas span several shards is dirty in each of them;
+      // repairing it once repairs every replica, so drop the duplicates
+      // (reproduces the single-global-set semantics of the serial path).
+      for (auto& other : shards_) {
+        if (other.get() != &st) other->dirty_keys.erase(key);
+      }
+    }
 
     const auto replicas = replicas_for(key);
     Version newest = kNoVersion;
@@ -1397,11 +1624,15 @@ void Cluster::anti_entropy_sweep() {
       }
     }
   }
-  if (!dirty_keys_.empty() && !anti_entropy_scheduled_) {
-    anti_entropy_scheduled_ = true;
-    sim_->schedule_event(cfg_.anti_entropy_period,
-                         cluster_event(EventKind::kAntiEntropySweep, this));
-  }
+  return repaired;
+}
+
+void Cluster::arm_anti_entropy_fence(SimTime at) {
+  // Sweeps mutate replica stores across shards, so each sweep instant is a
+  // fence (merged-serial). Registration happens at setup or inside a prior
+  // fence — never mid-window — which register_fence enforces.
+  sim_->register_fence(at);
+  sim_->schedule_event_at(at, cluster_event(EventKind::kAntiEntropySweep, this));
 }
 
 // ------------------------------------------------------------ typed dispatch

@@ -34,14 +34,20 @@
 //     the typed event lane, so every fault scenario is seed-reproducible.
 //
 // Sharded execution (docs/INVARIANTS.md "Cross-shard determinism"): when the
-// owning Simulation is partitioned into per-DC event shards
-// (sim.configure_shards with shard_count == dc_count), the cluster routes
+// owning Simulation is partitioned into event shards — one per DC, or a
+// DC -> shard-count plan splitting DC d into S_d key-range shards over
+// TokenRing token ranges (see cluster/shard_map.h) — the cluster routes
 // every typed event to the shard owning the state its handler touches and
 // keeps ALL mutable request-path state per shard (ShardState below): RNG
 // stream, pending-request pools, hint store, replica cache, net/latency
-// stats, counters. Cross-shard interaction happens only through scheduled
-// events whose delay is at least the configured lookahead (the cross-DC
-// latency floor), plus two carefully-fenced exceptions:
+// stats, counters, anti-entropy dirty set. An operation on key k from DC d
+// executes on ShardMap::home_shard(d, k); replicas of one key may live on
+// *other* shards of the same DC, so write fan-out legs can be intra-DC
+// cross-shard events — the configured lookahead must therefore be a floor on
+// every link class that can cross shards (the intra-DC floors too once any
+// S_d > 1, not just cross-DC; the ctor checks this). Cross-shard interaction
+// happens only through scheduled events with at least that delay, plus the
+// carefully-fenced exceptions:
 //   * write legs executing on a replica's shard read the *pinned* fields of
 //     the home shard's pending record (key/value/coord/start — written before
 //     fan-out, immutable until every leg completed; pools are pre-grown so
@@ -50,10 +56,18 @@
 //     per-shard op logs that the window-barrier hook merges by (time, seq) —
 //     exactly the serial call order. ReadResult.stale is not populated under
 //     shard_count > 1 (the judgement may not have been applied yet when the
-//     client callback fires); aggregate oracle counters remain exact.
-// Restrictions under shard_count > 1, each enforced by a contract check:
-// coordinators stay in the client's DC (no cross-DC failover re-routing, no
-// DC blackout faults), anti-entropy off, no observer, degrade factors >= 1.
+//     client callback fires); aggregate oracle counters remain exact;
+//   * observer/monitor callbacks defer the same way: every hook appends to
+//     the executing shard's monitor log (one log for all six callback kinds
+//     — the monitor couples them through one last-event timestamp), and the
+//     barrier hook replays the merged stream into the attached
+//     ClusterObserver in exact serial order, so set_observer is legal under
+//     sharding;
+//   * anti-entropy keeps one dirty-key set per shard and runs its sweeps
+//     merged-serial at fenced instants every anti_entropy_period.
+// Remaining restrictions under shard_count > 1, each enforced by a contract
+// check: coordinators stay in the client's DC (no cross-DC failover
+// re-routing, no DC blackout faults), degrade factors >= 1.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +79,7 @@
 #include "cluster/consistency.h"
 #include "cluster/hinted_handoff.h"
 #include "cluster/node.h"
+#include "cluster/shard_map.h"
 #include "cluster/staleness_oracle.h"
 #include "cluster/token_ring.h"
 #include "cluster/versioned_value.h"
@@ -98,6 +113,25 @@ class ClusterObserver {
   virtual void on_replica_read_rtt(net::NodeId replica, SimDuration rtt,
                                    bool cross_dc) {
     (void)replica; (void)rtt; (void)cross_dc;
+  }
+
+  // Client-side measurement hooks (monitor/monitor.h implements them). In
+  // unsharded runs the workload layer may call the monitor directly; sharded
+  // runs route them through Cluster::record_* so they join the per-shard
+  // monitor log and replay here — interleaved with the replica-side hooks
+  // above in exact (time, seq) order — at window barriers.
+  virtual void record_read_issued(SimTime now, Key key) {
+    (void)now; (void)key;
+  }
+  virtual void record_write_issued(SimTime now, Key key,
+                                   std::uint32_t value_size) {
+    (void)now; (void)key; (void)value_size;
+  }
+  virtual void record_read_complete(SimTime now, SimDuration latency) {
+    (void)now; (void)latency;
+  }
+  virtual void record_write_complete(SimTime now, SimDuration latency) {
+    (void)now; (void)latency;
   }
 };
 
@@ -186,8 +220,9 @@ struct ClusterConfig {
   /// Anti-entropy: every period, repair the keys written since the last
   /// sweep (digest reads on every replica, then LWW repair of stale ones).
   /// 0 disables (read repair + hints remain the only convergence paths).
-  /// Must stay 0 under sharded execution (the sweep walks every replica from
-  /// one shard).
+  /// Sharded runs keep one dirty set per shard and run the sweep
+  /// merged-serial at fenced instants every period (the sweep walks every
+  /// replica), re-armed while the simulation still has pending events.
   SimDuration anti_entropy_period = 0;
   /// Cap on keys repaired per sweep (bounds repair burst size).
   std::size_t anti_entropy_keys_per_round = 512;
@@ -286,11 +321,20 @@ class Cluster {
   const TokenRing& ring() const { return ring_; }
   StalenessOracle& oracle() { return oracle_; }
   const StalenessOracle& oracle() const { return oracle_; }
-  /// Network traffic summed over all shards (merged into a cached copy; the
-  /// reference is valid until the next call).
+  /// Network traffic summed over all shards. A single shard's stats are
+  /// returned directly; multi-shard runs merge into a cached copy memoized
+  /// on the window-barrier epoch — per-shard stats only change inside a
+  /// window, and callers read between windows or after the run, so the merge
+  /// runs once per barrier at most instead of once per call. Epoch 0 (before
+  /// the first barrier, i.e. during setup) always re-merges. The reference
+  /// is valid until the next call.
   const net::NetStats& net_stats() const {
-    net_stats_merged_.reset();
-    for (const auto& s : shards_) net_stats_merged_.merge(s->net_stats);
+    if (shards_.size() == 1) return shards_[0]->net_stats;
+    if (barrier_epoch_ == 0 || net_stats_epoch_ != barrier_epoch_) {
+      net_stats_merged_.reset();
+      for (const auto& s : shards_) net_stats_merged_.merge(s->net_stats);
+      net_stats_epoch_ = barrier_epoch_;
+    }
     return net_stats_merged_;
   }
   /// Shard 0's hint store (the only one when unsharded). Sharded runs keep
@@ -350,13 +394,39 @@ class Cluster {
     return sum(&ShardState::read_repairs);
   }
   std::uint64_t anti_entropy_repairs() const { return anti_entropy_repairs_; }
-  std::size_t anti_entropy_backlog() const { return dirty_keys_.size(); }
+  std::size_t anti_entropy_backlog() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->dirty_keys.size();
+    return n;
+  }
 
-  void set_observer(ClusterObserver* observer) {
-    HARMONY_CHECK_MSG(observer == nullptr || !deferred_,
-                      "observers are not supported under shard_count > 1 "
-                      "(callbacks would see cross-shard state mid-window)");
-    observer_ = observer;
+  /// Attach the measurement observer. Legal under sharding: every callback
+  /// site defers into the executing shard's monitor log, and the barrier
+  /// hook replays the (time, seq)-merged stream — the exact serial callback
+  /// order — into the observer between windows.
+  void set_observer(ClusterObserver* observer) { observer_ = observer; }
+
+  // ---- client-side measurement records -----------------------------------
+  // Forwarded to the observer's record_* hooks: immediately when unsharded,
+  // via the per-shard monitor log (barrier-merged replay) when sharded. The
+  // workload layer calls these instead of the monitor directly whenever
+  // shard_count > 1.
+  void record_read_issued(Key key);
+  void record_write_issued(Key key, std::uint32_t value_size);
+  void record_read_complete(SimDuration latency);
+  void record_write_complete(SimDuration latency);
+
+  /// Key-range ownership: the shard an operation on `key` issued from DC
+  /// `dc` must execute on (0 when unsharded — everything lives on the one
+  /// shard). The workload layer routes per-shard clients and open-loop
+  /// sources with this.
+  std::uint32_t home_shard(net::DcId dc, Key key) const {
+    return deferred_ ? shard_map_.home_shard(dc, key) : 0;
+  }
+  /// The full key-range/node -> shard map (sharded runs only).
+  const ShardMap& shard_map() const {
+    HARMONY_CHECK_MSG(deferred_, "shard_map() is meaningful only when sharded");
+    return shard_map_;
   }
 
   sim::Simulation& simulation() { return *sim_; }
@@ -540,6 +610,33 @@ class Cluster {
     Kind kind = Kind::kCommit;
   };
 
+  /// One deferred observer callback (shard_count > 1 only), logged and
+  /// barrier-merged exactly like OracleOp. A single log carries all six
+  /// callback kinds: the monitor's EWMA decay and reservoir state couple the
+  /// client-side record_* hooks and the replica-side on_* hooks through one
+  /// last-event timestamp, so replay must be the exact serial interleaving
+  /// of ALL of them, not per-kind streams.
+  struct MonitorOp {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    Key key = 0;              ///< issued / propagated
+    SimTime write_start = 0;  ///< kWritePropagated
+    SimDuration dur = 0;      ///< completion latency / replica rtt
+    std::uint32_t size = 0;   ///< written value size
+    net::NodeId replica = 0;  ///< kReplicaReadRtt
+    DelayList delays;         ///< kWritePropagated
+    enum class Kind : std::uint8_t {
+      kReadIssued,
+      kWriteIssued,
+      kReadComplete,
+      kWriteComplete,
+      kWritePropagated,
+      kReplicaReadRtt,
+    };
+    Kind kind = Kind::kReadIssued;
+    bool cross_dc = false;  ///< kReplicaReadRtt
+  };
+
   /// Everything the request path mutates, one instance per event shard (a
   /// single instance when unsharded — shard 0's RNG stream and slot order
   /// are byte-identical to the historical flat members). Each instance is
@@ -569,16 +666,24 @@ class Cluster {
     std::vector<ReplicaCacheEntry> replica_cache;
     std::vector<OracleOp> oracle_log;  ///< deferred mode only
     std::size_t oracle_pos = 0;        ///< merge cursor into oracle_log
+    std::vector<MonitorOp> monitor_log;  ///< deferred mode only
+    std::size_t monitor_pos = 0;         ///< merge cursor into monitor_log
+    /// Keys written since this shard's last anti-entropy sweep (shard 0's
+    /// set is the historical global one when unsharded).
+    // lint: allow(hot-path-alloc): touched only when anti-entropy is on;
+    // alloc_guard pins the default request path.
+    std::unordered_set<Key> dirty_keys;
   };
 
   /// The shard state this thread is currently executing against: the
   /// dispatching shard's inside an event, shard 0 (or the setup shard) at
   /// setup time, the single instance when unsharded.
   ShardState& here() const { return *shards_[sim_->current_shard()]; }
-  /// The shard owning a node's state: its DC under per-DC sharding, 0
-  /// otherwise.
+  /// The shard owning a node's replica state (ShardMap round-robin within
+  /// the node's DC — identical to "its DC" under the one-shard-per-DC plan),
+  /// 0 when unsharded.
   std::uint8_t shard_of(net::NodeId n) const {
-    return deferred_ ? static_cast<std::uint8_t>(topo_.dc_of(n)) : 0;
+    return deferred_ ? shard_map_.node_shard(n) : 0;
   }
   std::uint64_t sum(std::uint64_t ShardState::* m) const {
     std::uint64_t n = 0;
@@ -650,6 +755,10 @@ class Cluster {
 
   void replay_hints(net::NodeId target);
   void anti_entropy_sweep();
+  /// Sweep one shard's dirty set (up to `budget` keys); returns keys swept.
+  std::size_t sweep_shard_dirty(ShardState& st, std::size_t budget);
+  /// Deferred mode: fence + schedule the next sweep instant.
+  void arm_anti_entropy_fence(SimTime at);
 
   // ---- deferred oracle (shard_count > 1) ---------------------------------
   void oracle_commit(Key key, const Version& version);
@@ -660,9 +769,20 @@ class Cluster {
   void oracle_judge_end(Key key, const Version& returned, SimTime read_start,
                         ReadResult* result);
   /// Window-barrier hook: merge per-shard logs by (at, seq) and apply every
-  /// op dated strictly before `safe_time` to the global oracle.
+  /// op dated strictly before `safe_time` to the global oracle and the
+  /// observer; bumps the barrier epoch the memoized accessors key on.
   static void barrier_hook(void* ctx, SimTime safe_time);
   void apply_oracle_logs(SimTime safe_time);
+
+  // ---- deferred observer (shard_count > 1) -------------------------------
+  // Observer-side call sites route through these: immediate when unsharded,
+  // appended to the executing shard's monitor log when deferred.
+  void observer_write_propagated(Key key, SimTime write_start,
+                                 const DelayList& delays);
+  void observer_replica_read_rtt(net::NodeId replica, SimDuration rtt,
+                                 bool cross_dc);
+  MonitorOp& append_monitor_op(MonitorOp::Kind kind);
+  void apply_monitor_logs(SimTime safe_time);
 
   sim::Simulation* sim_;
   ClusterConfig cfg_;
@@ -677,11 +797,17 @@ class Cluster {
 
   /// Per-shard request-path state; size sim.shard_count() (1 unsharded).
   std::vector<std::unique_ptr<ShardState>> shards_;
-  /// True when shard_count > 1: oracle calls defer to per-shard logs, write
-  /// lifecycle legs route home as events, pools are pre-grown, and the
-  /// sharded-restriction contract checks are armed.
+  /// True when shard_count > 1: oracle and observer calls defer to per-shard
+  /// logs, write lifecycle legs route home as events, pools are pre-grown,
+  /// and the sharded-restriction contract checks are armed.
   bool deferred_ = false;
+  /// Key-range/node -> shard ownership; built only when deferred.
+  ShardMap shard_map_;
+  /// Window barriers seen so far (bumped by the barrier hook); memoized
+  /// merged accessors re-merge only when it moved. 0 = setup time.
+  std::uint64_t barrier_epoch_ = 0;
   mutable net::NetStats net_stats_merged_;
+  mutable std::uint64_t net_stats_epoch_ = 0;  ///< epoch net_stats_merged_ is at
 
   void invalidate_replica_cache();
 
@@ -698,14 +824,24 @@ class Cluster {
 
   std::uint64_t anti_entropy_repairs_ = 0;
 
-  /// Per-DC admission token buckets (lazy refill on access). Padded to a
-  /// cache line: under per-DC sharding, bucket d is touched only by shard d.
+  /// Admission token buckets (lazy refill on access), one per DC unsharded
+  /// and one per *shard* when sharded — each shard gets 1/S_d of its DC's
+  /// rate and burst, so the aggregate admitted rate matches the per-DC
+  /// configuration while bucket b is touched only by shard b (no cross-shard
+  /// mutation; with S_d == 1 the split is exact and byte-identical). Each
+  /// bucket carries its own rate/burst and is padded to a cache line.
   struct TokenBucket {
     double tokens = 0;
     SimTime last = 0;
-    char pad_[48] = {};
+    double rate = 0;   ///< tokens per second this bucket accrues
+    double burst = 0;  ///< bucket depth, tokens
+    char pad_[32] = {};
   };
-  SmallVec<TokenBucket, kMaxDcs> admission_;
+  /// The calling context's admission bucket for a request from `dc`.
+  TokenBucket& admission_bucket(net::DcId dc) {
+    return admission_[deferred_ ? sim_->current_shard() : dc];
+  }
+  std::vector<TokenBucket> admission_;
 
   /// Per-node link-latency multipliers and the WAN-wide multiplier from
   /// degradation faults. `links_degraded_` gates the multiply so the healthy
@@ -716,12 +852,11 @@ class Cluster {
   bool links_degraded_ = false;
   void refresh_links_degraded();
 
-  // Anti-entropy state: keys mutated since the last sweep. The sweep is
-  // scheduled lazily (only while dirty keys exist) so an idle cluster's
-  // event queue drains. Disallowed under sharding (see ClusterConfig).
-  // lint: allow(hot-path-alloc): touched only by the periodic anti-entropy
-  // sweep, not the request path; alloc_guard keeps that claim honest.
-  std::unordered_set<Key> dirty_keys_;
+  // Anti-entropy scheduling state. Unsharded, the sweep is scheduled lazily
+  // (only while dirty keys exist) so an idle cluster's event queue drains;
+  // sharded, sweeps run at fenced instants armed at construction and
+  // re-armed from the sweep itself while the simulation has pending events
+  // (dirty sets live per shard — see ShardState::dirty_keys).
   bool anti_entropy_scheduled_ = false;
 };
 

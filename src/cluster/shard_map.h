@@ -1,0 +1,124 @@
+// Key-range shard topology: who owns what when one Simulation is split into
+// event shards (sim/shard.h, docs/INVARIANTS.md "Cross-shard determinism").
+//
+// PR 8 sharded per DC: shard d owned every node of DC d and all keys homed
+// there. Key-range sharding generalizes that: each DC d splits into S_d
+// contiguous shard ids (the simulation's DC -> shard-count plan), its nodes
+// are dealt round-robin across those shards, and the token space is cut into
+// S_d equal ranges (TokenRing::range_of) so every key has exactly one home
+// shard per DC. All per-shard cluster and workload state (RNG lanes, slot
+// pools, counters, hint stores, open-loop sources) then follows key
+// ownership: an operation on key k issued from DC d runs on shard
+// `home_shard(d, k)`, whose coordinator pool is that shard's own node list.
+// Replicas of one key may live on *other* shards of the same DC — those
+// write fan-out legs are intra-DC cross-shard events, which is why the
+// conservative lookahead must also respect the intra-DC latency floor when
+// any S_d > 1.
+//
+// With every S_d == 1 all of this degenerates to the PR 8 per-DC map:
+// shard_base(d) == d, node_shard(n) == dc_of(n), home_shard(d, k) == d —
+// byte-identical behavior by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/token_ring.h"
+#include "common/check.h"
+#include "common/small_vec.h"
+#include "net/topology.h"
+
+namespace harmony::cluster {
+
+class ShardMap {
+ public:
+  /// Build the map for `shard_count` total shards over `topo`. `plan` is the
+  /// simulation's DC -> shard-count plan (sim::Simulation::shard_plan());
+  /// empty means the legacy one-shard-per-DC layout, which then requires
+  /// shard_count == dc_count. Every DC needs at least as many nodes as
+  /// shards (each shard must own a coordinator candidate).
+  void build(const net::Topology& topo, const std::vector<std::uint32_t>& plan,
+             std::uint32_t shard_count) {
+    const std::size_t dcs = topo.dc_count();
+    shard_base_.clear();
+    dc_shards_.clear();
+    if (plan.empty()) {
+      HARMONY_CHECK_MSG(shard_count == dcs,
+                        "without a shard plan, sharded cluster execution "
+                        "requires exactly one shard per DC");
+      for (std::size_t d = 0; d < dcs; ++d) dc_shards_.push_back(1);
+    } else {
+      HARMONY_CHECK_MSG(plan.size() == dcs,
+                        "shard plan must have one entry per DC");
+      for (const std::uint32_t s : plan) dc_shards_.push_back(s);
+    }
+    std::uint32_t base = 0;
+    shard_dc_.assign(shard_count, 0);
+    for (std::size_t d = 0; d < dcs; ++d) {
+      shard_base_.push_back(base);
+      HARMONY_CHECK_MSG(dc_shards_[d] <= topo.nodes_in_dc(d).size(),
+                        "a DC cannot split into more shards than it has "
+                        "nodes (every shard needs a coordinator)");
+      for (std::uint32_t s = 0; s < dc_shards_[d]; ++s) {
+        shard_dc_[base + s] = static_cast<net::DcId>(d);
+      }
+      base += dc_shards_[d];
+    }
+    HARMONY_CHECK_MSG(base == shard_count,
+                      "shard plan total must equal the shard count");
+
+    // Nodes deal round-robin over their DC's shard range, in nodes_in_dc
+    // order — deterministic, balanced, and with S_d == 1 exactly the PR 8
+    // "shard d owns DC d" layout.
+    node_shard_.assign(topo.node_count(), 0);
+    shard_nodes_.assign(shard_count, {});
+    for (std::size_t d = 0; d < dcs; ++d) {
+      const auto& nodes = topo.nodes_in_dc(d);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto s = static_cast<std::uint32_t>(
+            shard_base_[d] + i % dc_shards_[d]);
+        node_shard_[nodes[i]] = static_cast<std::uint8_t>(s);
+        shard_nodes_[s].push_back(nodes[i]);
+      }
+    }
+  }
+
+  /// First shard id of DC `d`'s contiguous range.
+  std::uint32_t shard_base(net::DcId d) const { return shard_base_[d]; }
+  /// Number of key-range shards DC `d` splits into (S_d).
+  std::uint32_t shards_in_dc(net::DcId d) const { return dc_shards_[d]; }
+  /// The DC a shard belongs to.
+  net::DcId dc_of_shard(std::uint32_t s) const { return shard_dc_[s]; }
+  /// The shard owning a node's replica state.
+  std::uint8_t node_shard(net::NodeId n) const { return node_shard_[n]; }
+  /// True when any DC splits past one shard (intra-DC cross-shard hops
+  /// exist, so the lookahead must respect the intra-DC latency floor too).
+  bool multi_shard_dc() const {
+    for (const std::uint32_t s : dc_shards_) {
+      if (s > 1) return true;
+    }
+    return false;
+  }
+  /// Coordinator candidates of one shard (nodes_in_dc order).
+  const std::vector<net::NodeId>& nodes_of_shard(std::uint32_t s) const {
+    return shard_nodes_[s];
+  }
+
+  /// The shard owning key `key`'s range within DC `dc` — where an operation
+  /// on that key issued from that DC homes. S_d == 1 short-circuits before
+  /// hashing, so the legacy layout never pays token_for.
+  std::uint32_t home_shard(net::DcId dc, Key key) const {
+    const std::uint32_t s = dc_shards_[dc];
+    if (s == 1) return shard_base_[dc];
+    return shard_base_[dc] + TokenRing::range_of(TokenRing::token_for(key), s);
+  }
+
+ private:
+  SmallVec<std::uint32_t, kMaxDcs> shard_base_;
+  SmallVec<std::uint32_t, kMaxDcs> dc_shards_;
+  std::vector<net::DcId> shard_dc_;
+  std::vector<std::uint8_t> node_shard_;
+  std::vector<std::vector<net::NodeId>> shard_nodes_;
+};
+
+}  // namespace harmony::cluster

@@ -89,12 +89,14 @@ class Monitor : public cluster::ClusterObserver {
   /// Register with the cluster and learn the replication layout.
   void attach(cluster::Cluster& c, net::DcId client_home_dc);
 
-  // ---- client-side hooks (wired by the workload runner) ------------------
-  void record_read_issued(SimTime now, std::uint64_t key = 0);
+  // ---- client-side hooks (wired by the workload runner; also
+  // ClusterObserver virtuals so sharded runs can replay them from the
+  // barrier-merged per-shard logs) ------------------------------------------
+  void record_read_issued(SimTime now, std::uint64_t key = 0) override;
   void record_write_issued(SimTime now, std::uint64_t key = 0,
-                           std::uint32_t value_size = 0);
-  void record_read_complete(SimTime now, SimDuration latency);
-  void record_write_complete(SimTime now, SimDuration latency);
+                           std::uint32_t value_size = 0) override;
+  void record_read_complete(SimTime now, SimDuration latency) override;
+  void record_write_complete(SimTime now, SimDuration latency) override;
 
   // ---- ClusterObserver ----------------------------------------------------
   void on_write_propagated(cluster::Key key, SimTime write_start,

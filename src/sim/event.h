@@ -63,6 +63,7 @@ enum class EventKind : std::uint8_t {
   // ---- workload domain (16..31): clients --------------------------------
   kClientIssue = 16,   ///< a closed-loop client issues its next operation
   kOpenLoopArrival,    ///< an open-loop source's next intended arrival fires
+  kPolicyTick,         ///< fenced policy-retuning tick (sharded runs)
 
   // ---- user domain (32..47): free for tests and benches ------------------
   kUserProbe = 32,
@@ -83,7 +84,9 @@ constexpr std::size_t event_domain_index(EventKind kind) {
 struct TypedEvent {
   EventKind kind = EventKind::kClosure;
   std::uint8_t flag = 0;      ///< data_read / found
-  std::uint8_t shard = 0;     ///< destination event shard (0 when unsharded)
+  std::uint8_t shard = 0;     ///< destination event shard (0 when unsharded);
+                              ///< under key-range sharding this is the shard
+                              ///< owning the destination node / key range
   std::uint8_t home = 0;      ///< shard owning the pending record (write legs
                               ///< resolve their coordinator's slot pool by it)
   std::uint32_t node = 0;     ///< replica or repair/hint target node

@@ -150,12 +150,22 @@ SimTime ShardSet::run(SimTime horizon) {
 
   if (num_threads_ <= 1 || count() == 1) {
     // Serial reference mode: strict global (time, seq) order, windowed only
-    // to bound the deferred-work buffers. Fences are irrelevant here —
-    // every instant is already serial.
+    // to bound the deferred-work buffers. Fences are honored exactly like
+    // the parallel branch — every instant already runs serial, but barrier
+    // consumers (the deferred oracle/monitor logs, policy ticks at fences)
+    // must see the identical flush(safe) sequence in both modes so a fenced
+    // handler observes the same applied-prefix of deferred state.
     while (peek_global(when, seq, which)) {
       if (when > horizon) break;
-      const SimTime bound =
-          std::min(horizon, saturating_add(when, lookahead_ - 1));
+      const auto fence =
+          std::lower_bound(fences_.begin(), fences_.end(), when);
+      if (fence != fences_.end() && *fence == when) {
+        run_merged_serial(when);
+        flush(saturating_add(when, 1));
+        continue;
+      }
+      SimTime bound = std::min(horizon, saturating_add(when, lookahead_ - 1));
+      if (fence != fences_.end() && *fence - 1 < bound) bound = *fence - 1;
       run_merged_serial(bound);
       flush(saturating_add(bound, 1));
     }

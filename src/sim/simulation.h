@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -59,6 +60,32 @@ class Simulation {
     shards_ = std::make_unique<ShardSet>(*this, count, lookahead, num_threads,
                                          mailbox_capacity);
   }
+
+  /// Grouped variant: one entry per shard *group* (the cluster layer passes
+  /// one group per DC), each splitting into that many key-range shards. The
+  /// total shard count is the sum; group g's shards are the contiguous id
+  /// range [sum(plan[0..g)), sum(plan[0..g])). The plan is recorded and
+  /// exposed via shard_plan() so the cluster layer can derive key-range →
+  /// shard ownership from the same source of truth. `lookahead` must be the
+  /// minimum cross-shard delay across *all* shard pairs — with any group
+  /// split past 1 that includes intra-group (intra-DC) hops, so the caller
+  /// floors it at the intra-DC latency floor too, not just cross-DC.
+  void configure_shards(const std::vector<std::uint32_t>& group_shards,
+                        SimDuration lookahead, unsigned num_threads,
+                        std::uint32_t mailbox_capacity = kDefaultMailboxCapacity) {
+    std::uint32_t total = 0;
+    for (const std::uint32_t s : group_shards) {
+      HARMONY_CHECK_MSG(s >= 1, "every shard group needs >= 1 shard");
+      total += s;
+    }
+    configure_shards(total, lookahead, num_threads, mailbox_capacity);
+    shard_plan_ = group_shards;
+  }
+
+  /// The per-group shard counts passed to the grouped configure_shards
+  /// overload; empty for unsharded runs and for the flat overload (where
+  /// every group implicitly has exactly one shard).
+  const std::vector<std::uint32_t>& shard_plan() const { return shard_plan_; }
 
   bool sharded() const { return shards_ != nullptr; }
   std::uint32_t shard_count() const { return shards_ ? shards_->count() : 1; }
@@ -213,6 +240,7 @@ class Simulation {
   bool typed_lane_ = true;
   EventDispatchFn dispatchers_[kEventDomains] = {};
   std::unique_ptr<ShardSet> shards_;
+  std::vector<std::uint32_t> shard_plan_;
 };
 
 /// Repeating timer helper: schedules fn every `period` until cancelled or the

@@ -8,9 +8,10 @@
 namespace harmony::workload {
 
 Client::Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s,
-               Rng rng, bool reroute_on_dc_outage, int shed_retry_limit)
+               Rng rng, bool reroute_on_dc_outage, int shed_retry_limit,
+               std::uint8_t shard)
     : env_(&env), home_(home_dc), target_rate_(target_rate_per_s),
-      rng_(std::move(rng)), reroute_(reroute_on_dc_outage),
+      rng_(std::move(rng)), shard_(shard), reroute_(reroute_on_dc_outage),
       shed_retry_limit_(shed_retry_limit) {}
 
 namespace {
@@ -31,6 +32,11 @@ void Client::dispatch_event(const sim::TypedEvent& ev) {
     case sim::EventKind::kOpenLoopArrival:
       OpenLoopSource::dispatch_arrival(ev);
       break;
+    case sim::EventKind::kPolicyTick:
+      // Fenced instant (merged-serial): the runner may snapshot the monitor
+      // and retune the policy, both cross-shard singletons.
+      static_cast<ClientEnv*>(ev.target)->on_policy_tick();
+      break;
     default:
       HARMONY_CHECK_MSG(false, "unknown workload event kind");
   }
@@ -40,11 +46,8 @@ void Client::start() {
   sim::Simulation& sim = env_->simulation();
   sim.set_event_dispatcher(sim::EventDomain::kWorkload,
                            &Client::dispatch_event);
-  if (sim.sharded()) {
-    // Per-DC sharding: the whole closed loop (issue event, request callback,
-    // pacing closure) stays on the home DC's shard.
-    shard_ = static_cast<std::uint8_t>(home_ % sim.shard_count());
-  }
+  // The whole closed loop (issue event, request callback, pacing closure)
+  // stays on the ctor-assigned shard (a key-range shard of the home DC).
   use_monitor_ = sim.shard_count() <= 1;
   const auto stagger = static_cast<SimDuration>(rng_.exponential(500.0));
   sim.schedule_event(stagger, issue_event(this, shard_));
@@ -92,6 +95,8 @@ void Client::issue_next() {
     case OpType::kInsert:
       if (use_monitor_) {
         env_->monitor().record_write_issued(last_issue_, op.key, op.value_size);
+      } else {
+        env_->cluster().record_write_issued(op.key, op.value_size);
       }
       do_write(op, start, 0);
       break;
@@ -117,9 +122,15 @@ net::DcId Client::route_dc() {
 void Client::do_read(const Op& op, bool then_write, SimTime first_start,
                      int shed_attempts) {
   // Monitor issue/complete hooks fire once per logical op, not per shed
-  // re-issue, so the policy layer's rates count client intent.
-  if (shed_attempts == 0 && use_monitor_) {
-    env_->monitor().record_read_issued(first_start, op.key);
+  // re-issue, so the policy layer's rates count client intent. Sharded runs
+  // route through the cluster's per-shard monitor logs (stamped with the
+  // executing event's time, so a paced op's intent registers at issue).
+  if (shed_attempts == 0) {
+    if (use_monitor_) {
+      env_->monitor().record_read_issued(first_start, op.key);
+    } else {
+      env_->cluster().record_read_issued(op.key);
+    }
   }
   const cluster::ReplicaRequirement req = env_->policy().read_requirement();
   env_->cluster().client_read(
@@ -143,12 +154,16 @@ void Client::do_read(const Op& op, bool then_write, SimTime first_start,
         if (use_monitor_) {
           env_->monitor().record_read_complete(env_->simulation().now(),
                                                latency);
+        } else {
+          env_->cluster().record_read_complete(latency);
         }
         env_->on_read_complete(r, latency, req.count);
         if (then_write) {
           if (use_monitor_) {
             env_->monitor().record_write_issued(env_->simulation().now(),
                                                 op.key, op.value_size);
+          } else {
+            env_->cluster().record_write_issued(op.key, op.value_size);
           }
           do_write(op, env_->simulation().now(), 0);
         } else {
@@ -178,6 +193,8 @@ void Client::do_write(const Op& op, SimTime first_start, int shed_attempts) {
         if (use_monitor_) {
           env_->monitor().record_write_complete(env_->simulation().now(),
                                                 latency);
+        } else {
+          env_->cluster().record_write_complete(latency);
         }
         env_->on_write_complete(w, latency);
         schedule_next();

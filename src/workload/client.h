@@ -43,20 +43,30 @@ class ClientEnv {
   virtual void on_write_complete(const cluster::WriteResult& result,
                                  SimDuration latency) = 0;
   virtual void on_client_finished() = 0;
+  /// Fenced policy-retuning tick (sharded runs; see EventKind::kPolicyTick).
+  /// The instant runs merged-serial, so the implementation may touch
+  /// cross-shard singletons (monitor snapshot, policy mutation).
+  virtual void on_policy_tick() {}
 };
 
 class Client {
  public:
   /// `reroute_on_dc_outage` / `shed_retry_limit` mirror the WorkloadSpec
-  /// resilience knobs (the runner forwards them).
+  /// resilience knobs (the runner forwards them). `shard` is the event shard
+  /// the client's whole closed loop runs on (sharded runs; the runner homes
+  /// each client on one key-range shard of its DC — under the legacy per-DC
+  /// plan that is just the home DC's shard id). Ignored unsharded.
   Client(ClientEnv& env, net::DcId home_dc, double target_rate_per_s, Rng rng,
-         bool reroute_on_dc_outage = false, int shed_retry_limit = 8);
+         bool reroute_on_dc_outage = false, int shed_retry_limit = 8,
+         std::uint8_t shard = 0);
 
   /// Schedule this client's first operation (with a small random stagger so
   /// clients do not start in lockstep).
   void start();
 
   net::DcId home_dc() const { return home_; }
+  /// The event shard this client's loop runs on (0 unsharded).
+  std::uint8_t shard() const { return shard_; }
   std::uint64_t ops_issued() const { return issued_; }
   /// Operations routed to a non-home DC because home had no alive node.
   std::uint64_t rerouted_ops() const { return rerouted_; }
@@ -83,11 +93,12 @@ class Client {
   net::DcId home_;
   double target_rate_;
   Rng rng_;
-  /// Event shard the client's issue loop runs on (home DC under per-DC
-  /// sharding, 0 otherwise); set by start().
+  /// Event shard the client's issue loop runs on (ctor-assigned by the
+  /// runner: one key-range shard of the home DC; 0 unsharded).
   std::uint8_t shard_ = 0;
-  /// Monitor recording is skipped under shard_count > 1: the monitor is a
-  /// cross-shard singleton the runner leaves unattached there.
+  /// Direct monitor calls happen only unsharded; under shard_count > 1 the
+  /// hooks route through Cluster's per-shard monitor logs, replayed in
+  /// (time, seq) order at window barriers.
   bool use_monitor_ = true;
   SimTime last_issue_ = 0;
   /// Rate-paced clients: the op's *intended* issue time on the arrival grid.

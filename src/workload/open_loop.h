@@ -70,13 +70,17 @@ class OpenLoopSource {
   /// `insert_lane`/`insert_stride` give the source its interleaved insert-key
   /// lane (record_count + lane + n*stride) so sources never contend for a
   /// key counter — identical keys for any shard-thread count.
-  /// `keys` is this source's private request distribution (clone per DC);
+  /// `keys` is this source's private request distribution (clone per source);
   /// `users` is copied (the copy shares the already-computed zeta constants).
+  /// `shard` is the event shard the source's whole loop runs on — under
+  /// key-range sharding one source exists per shard of each hosting DC, and
+  /// draw_op() keeps only keys that shard owns (rejection sampling for
+  /// distribution draws, lane skip-scan for inserts). Ignored unsharded.
   OpenLoopSource(ClientEnv& env, net::DcId dc, const WorkloadSpec& spec,
                  double rate_per_s, std::uint64_t insert_lane,
                  std::uint64_t insert_stride, Rng rng,
                  std::unique_ptr<KeyDistribution> keys,
-                 const ScrambledZipfianKeys& users);
+                 const ScrambledZipfianKeys& users, std::uint8_t shard = 0);
 
   /// Register the workload dispatcher and schedule the first arrival.
   void start();
@@ -86,6 +90,8 @@ class OpenLoopSource {
   void set_measuring(bool on) { measuring_ = on; }
 
   net::DcId dc() const { return dc_; }
+  /// The event shard this source's loop runs on (0 unsharded).
+  std::uint8_t shard() const { return shard_; }
   bool drained() const {
     return gen_done_ && in_flight_ == 0 && queue_size_ == 0;
   }
@@ -130,6 +136,10 @@ class OpenLoopSource {
   ScrambledZipfianKeys users_;
   double props_[4] = {0, 0, 0, 0};  ///< op-type weights, OpType order
   std::uint8_t shard_ = 0;
+  /// True when the home DC splits into several key-range shards: draw_op()
+  /// then filters keys by Cluster::home_shard ownership. Off at S_d == 1,
+  /// where every draw is owned by construction (zero extra RNG pulls).
+  bool key_filter_ = false;
   bool use_monitor_ = true;
   bool measuring_ = false;
   bool gen_done_ = false;

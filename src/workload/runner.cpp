@@ -1,5 +1,6 @@
 #include "workload/runner.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -29,20 +30,18 @@ class Runner final : public ClientEnv {
             static_cast<int>(cfg_.cluster.dc_count),
         "client_dc out of range");
     if (deferred_) {
-      // Every singleton a shard worker would otherwise mutate cross-shard is
-      // disabled; RunConfig::num_shard_threads documents the semantic deltas.
-      HARMONY_CHECK_MSG(!cfg_.record_trace,
-                        "record_trace is a single-stream log; not supported "
-                        "under shard_count > 1");
+      // The remaining cross-shard restrictions; RunConfig::num_shard_threads
+      // documents the full list of sharded semantic deltas. Monitor, policy
+      // ticks and trace capture are NOT restricted: they run off per-shard
+      // logs replayed in (time, seq) order (barriers / fenced instants).
       HARMONY_CHECK_MSG(cfg_.faults.empty(),
                         "legacy RunConfig.faults closures cannot cross "
                         "shards; use fault_schedule (fenced typed lane)");
       HARMONY_CHECK_MSG(!cfg_.workload.reroute_on_dc_outage,
                         "DC re-routing sends requests to a foreign shard's "
                         "coordinator; not supported under shard_count > 1");
-    } else {
-      monitor_.attach(cluster_, /*client_home_dc=*/0);
     }
+    monitor_.attach(cluster_, /*client_home_dc=*/0);
     policy::PolicyInit init;
     init.rf = cfg_.cluster.rf;
     init.local_rf = cfg_.cluster.local_rf(0);
@@ -54,31 +53,43 @@ class Runner final : public ClientEnv {
   RunResult run() {
     cluster_.preload_range(cfg_.workload.record_count, cfg_.workload.value_size);
     next_insert_key_ = cfg_.workload.record_count;
-    if (deferred_) init_dc_states();
+    if (deferred_) init_lanes();
 
     if (cfg_.workload.open_loop.enabled) {
       setup_open_loop();
     } else {
       // Clients, spread over every DC (or confined to one via client_dc).
+      // Under key-range sharding each client is further homed on one shard
+      // of its DC (round-robin over the DC's shard range), where its whole
+      // closed loop — and every key it touches — lives.
       for (std::size_t d = 0; d < cfg_.cluster.dc_count; ++d) {
         if (cfg_.workload.client_dc >= 0 &&
             d != static_cast<std::size_t>(cfg_.workload.client_dc)) {
           continue;
         }
+        const std::uint32_t splits =
+            deferred_
+                ? cluster_.shard_map().shards_in_dc(static_cast<net::DcId>(d))
+                : 1;
         for (int i = 0; i < cfg_.workload.clients_per_dc; ++i) {
+          const auto shard = static_cast<std::uint8_t>(
+              deferred_ ? cluster_.shard_map().shard_base(
+                              static_cast<net::DcId>(d)) +
+                              static_cast<std::uint32_t>(i) % splits
+                        : 0);
           clients_.push_back(std::make_unique<Client>(
               *this, static_cast<net::DcId>(d),
               cfg_.workload.target_rate_per_client,
               sim_.fork_rng(0xC11E017 + clients_.size()),
               cfg_.workload.reroute_on_dc_outage,
-              cfg_.workload.shed_retry_limit));
-          if (deferred_) ++dc_[d].clients;
+              cfg_.workload.shed_retry_limit, shard));
+          if (deferred_) ++lane_[shard].clients;
         }
       }
       for (auto& c : clients_) {
         // Sharded: the start stagger (and every event it transitively books)
-        // belongs to the client's home-DC shard.
-        sim_.set_setup_shard(deferred_ ? c->home_dc() : 0);
+        // belongs to the client's shard.
+        sim_.set_setup_shard(deferred_ ? c->shard() : 0);
         c->start();
       }
       sim_.set_setup_shard(0);
@@ -102,13 +113,17 @@ class Runner final : public ClientEnv {
       cluster_.schedule_fault(fault);
     }
 
-    // Policy retuning tick. Sharded runs keep the policy's initial
-    // requirement for the whole run: the tick reads the (unattached) monitor
-    // and mutates the policy, both cross-shard singletons.
+    // Policy retuning tick. The tick reads the monitor and mutates the
+    // policy, both cross-shard singletons — so sharded runs put each tick on
+    // a fenced instant (merged-serial, after the barrier flush applied every
+    // monitor op dated before it) and re-arm while events remain. Unsharded
+    // runs keep the closure-lane periodic timer.
     if (!deferred_) {
       policy_timer_.start(sim_, cfg_.policy_tick, [this] {
         policy_->tick(monitor_.snapshot(sim_.now()));
       });
+    } else if (cfg_.policy_tick > 0) {
+      arm_policy_tick(cfg_.policy_tick);
     }
 
     // Warm-up boundary: reset measurements, keep billing clocks running.
@@ -117,21 +132,21 @@ class Runner final : public ClientEnv {
     // merge for every thread count.
     if (deferred_) {
       measure_start_ = cfg_.warmup;
-      for (std::size_t d = 0; d < dc_.size(); ++d) {
+      for (std::size_t d = 0; d < lane_.size(); ++d) {
         if (cfg_.warmup > 0) {
           sim_.set_setup_shard(static_cast<std::uint32_t>(d));
           sim_.schedule(cfg_.warmup, [this, d] {
-            DcState& s = dc_[d];
+            LaneState& s = lane_[d];
             s.measuring = true;
             s.ops_at_measure_start = s.ops_completed;
-            if (d < src_by_dc_.size() && src_by_dc_[d] != nullptr) {
-              src_by_dc_[d]->set_measuring(true);
+            if (d < src_by_lane_.size() && src_by_lane_[d] != nullptr) {
+              src_by_lane_[d]->set_measuring(true);
             }
           });
         } else {
-          dc_[d].measuring = true;
-          if (d < src_by_dc_.size() && src_by_dc_[d] != nullptr) {
-            src_by_dc_[d]->set_measuring(true);
+          lane_[d].measuring = true;
+          if (d < src_by_lane_.size() && src_by_lane_[d] != nullptr) {
+            src_by_lane_[d]->set_measuring(true);
           }
         }
       }
@@ -185,13 +200,19 @@ class Runner final : public ClientEnv {
     return true;
   }
 
-  /// Sharded op stream: each DC owns an equal slice of the op budget, its
-  /// own RNG fork and key distribution, and an interleaved insert-key lane
-  /// (record_count + dc + n*dc_count) so shards never contend for a key
-  /// counter. Runs on the calling client's shard thread; touches only that
-  /// shard's DcState.
+  /// Sharded op stream: each shard lane owns an equal slice of the op
+  /// budget, its own RNG fork and key distribution, and an interleaved
+  /// insert-key lane (record_count + shard + n*shard_count) so shards never
+  /// contend for a key counter. Under key-range sharding (S_d > 1) the lane
+  /// additionally keeps only keys its shard owns: distribution draws are
+  /// rejection-sampled against Cluster::home_shard and the insert lane is
+  /// skip-scanned (unowned lane keys are simply never inserted — lanes are
+  /// disjoint, so uniqueness holds). At S_d == 1 the filter is off and RNG
+  /// consumption is identical to the per-DC scheme. Runs on the calling
+  /// client's shard thread; touches only that shard's LaneState.
   bool next_op_sharded(Op& op) {
-    DcState& s = dc_[sim_.current_shard()];
+    const std::uint32_t shard = sim_.current_shard();
+    LaneState& s = lane_[shard];
     if (s.ops_issued >= s.ops_budget) return false;
     ++s.ops_issued;
     const WorkloadSpec& w = cfg_.workload;
@@ -204,14 +225,31 @@ class Runner final : public ClientEnv {
       default: op.type = OpType::kReadModifyWrite; break;
     }
     if (op.type == OpType::kInsert) {
-      op.key = w.record_count + sim_.current_shard() +
-               s.next_insert_seq * dc_.size();
-      ++s.next_insert_seq;
+      for (int probe = 0;; ++probe) {
+        HARMONY_CHECK_MSG(probe < 4096,
+                          "insert-lane skip-scan found no owned key");
+        op.key = w.record_count + shard + s.next_insert_seq * lane_.size();
+        ++s.next_insert_seq;
+        if (!s.key_filter || cluster_.home_shard(s.dc, op.key) == shard) break;
+      }
       s.request_dist->grow(op.key + 1);
     } else {
-      op.key = s.request_dist->next(s.op_rng);
+      int tries = 0;
+      do {
+        HARMONY_CHECK_MSG(++tries < 65536,
+                          "key ownership rejection sampling did not converge "
+                          "(degenerate key distribution vs shard ranges)");
+        op.key = s.request_dist->next(s.op_rng);
+      } while (s.key_filter && cluster_.home_shard(s.dc, op.key) != shard);
     }
     op.value_size = w.value_size;
+    if (cfg_.record_trace) {
+      // Per-shard (time, seq)-stamped buffer; collect() stitches the lanes
+      // into the global serial issue order.
+      s.trace.push_back(StampedTrace{
+          sim_.current_seq(),
+          TraceRecord{sim_.now(), op.type, op.key, op.value_size}});
+    }
     return true;
   }
 
@@ -223,7 +261,7 @@ class Runner final : public ClientEnv {
   void on_read_complete(const cluster::ReadResult& r, SimDuration latency,
                         int replicas_requested) override {
     if (deferred_) {
-      DcState& s = dc_[sim_.current_shard()];
+      LaneState& s = lane_[sim_.current_shard()];
       ++s.ops_completed;
       if (s.measuring) {
         ++s.reads;
@@ -261,7 +299,7 @@ class Runner final : public ClientEnv {
   void on_write_complete(const cluster::WriteResult& w,
                          SimDuration latency) override {
     if (deferred_) {
-      DcState& s = dc_[sim_.current_shard()];
+      LaneState& s = lane_[sim_.current_shard()];
       ++s.ops_completed;
       if (s.measuring) {
         ++s.writes;
@@ -287,7 +325,7 @@ class Runner final : public ClientEnv {
 
   void on_client_finished() override {
     if (deferred_) {
-      DcState& s = dc_[sim_.current_shard()];
+      LaneState& s = lane_[sim_.current_shard()];
       ++s.clients_finished;
       if (s.clients_finished == s.clients) s.finish_time = sim_.now();
       return;
@@ -300,14 +338,47 @@ class Runner final : public ClientEnv {
     }
   }
 
+  /// Fenced policy tick (sharded runs; see EventKind::kPolicyTick). Runs
+  /// merged-serial at a fence instant, after the window flush applied every
+  /// per-shard monitor op dated before it — so the snapshot the policy sees
+  /// is identical for every thread count. Stops when every lane's clients
+  /// have drained their budget, mirroring the unsharded PeriodicTimer stop:
+  /// the already-armed tick acts cancelled (no tick, no re-arm). The stop
+  /// must key off client state, not sim_.idle() — another self-re-arming
+  /// fence source (anti-entropy) would keep the queue non-idle forever and
+  /// the two would hold each other live.
+  void on_policy_tick() override {
+    bool running = false;
+    for (const LaneState& s : lane_) running |= s.clients_finished < s.clients;
+    if (!running) return;
+    policy_->tick(monitor_.snapshot(sim_.now()));
+    arm_policy_tick(sim_.now() + cfg_.policy_tick);
+  }
+
  private:
-  /// Per-DC workload state for sharded runs. Everything a client callback
-  /// mutates lives here, indexed by the executing shard, so workers never
-  /// share a cache line let alone a counter. Padded to a line for the
-  /// adjacent-element case.
-  struct alignas(64) DcState {
+  /// One issued-op trace record plus the event seq that stamps its position
+  /// in the global (time, seq) order (sharded record_trace).
+  struct StampedTrace {
+    std::uint64_t seq = 0;
+    TraceRecord rec{};
+  };
+
+  /// Per-shard workload state for sharded runs ("lane"): everything a client
+  /// callback mutates lives here, indexed by the executing shard, so workers
+  /// never share a cache line let alone a counter. Under the legacy per-DC
+  /// plan lane i is exactly DC i; under key-range sharding each DC owns a
+  /// contiguous lane range. Padded to a line for the adjacent-element case.
+  struct alignas(64) LaneState {
     Rng op_rng;
     std::unique_ptr<KeyDistribution> request_dist;
+    /// Owning DC of this shard lane.
+    net::DcId dc = 0;
+    /// True when the owning DC splits past one shard: next_op_sharded then
+    /// keeps only keys this shard owns.
+    bool key_filter = false;
+    /// record_trace: this shard's issued ops, stamped for the collect-time
+    /// stitch.
+    std::vector<StampedTrace> trace;
     std::uint64_t ops_budget = 0;
     std::uint64_t ops_issued = 0;
     std::uint64_t ops_completed = 0;
@@ -348,44 +419,76 @@ class Runner final : public ClientEnv {
   static sim::Simulation& shard_configured(sim::Simulation& sim,
                                            const RunConfig& cfg) {
     if (cfg.num_shard_threads > 0) {
-      const SimDuration lookahead = cfg.cluster.latency.cross_dc.floor;
+      const auto& lat = cfg.cluster.latency;
+      SimDuration lookahead = lat.cross_dc.floor;
       HARMONY_CHECK_MSG(lookahead > 0,
                         "sharded runs derive their conservative lookahead "
                         "from cluster.latency.cross_dc.floor; set it > 0");
-      sim.configure_shards(static_cast<std::uint32_t>(cfg.cluster.dc_count),
-                           lookahead, cfg.num_shard_threads);
+      const std::uint32_t splits = std::max(1u, cfg.shards_per_dc);
+      if (splits > 1) {
+        // Splitting a DC makes write fan-out legs intra-DC cross-shard
+        // events, so the lookahead must also respect the intra-DC floors
+        // (loopback never crosses shards: src == dst node => same shard).
+        HARMONY_CHECK_MSG(
+            lat.same_rack.floor > 0 && lat.same_dc.floor > 0,
+            "key-range sharding (shards_per_dc > 1) needs positive "
+            "same_rack/same_dc latency floors: intra-DC hops cross shards "
+            "and their floor bounds the conservative lookahead");
+        lookahead = std::min(
+            lookahead, std::min(lat.same_rack.floor, lat.same_dc.floor));
+      }
+      sim.configure_shards(
+          std::vector<std::uint32_t>(cfg.cluster.dc_count, splits), lookahead,
+          cfg.num_shard_threads);
     }
     return sim;
   }
 
-  void init_dc_states() {
-    const std::size_t dcs = cfg_.cluster.dc_count;
-    dc_ = std::vector<DcState>(dcs);
-    // Equal split of the op budget over client-hosting DCs; the remainder
-    // goes to the lowest DC indices so totals match op_count exactly.
+  bool hosts_clients(std::size_t dc) const {
+    return cfg_.workload.client_dc < 0 ||
+           dc == static_cast<std::size_t>(cfg_.workload.client_dc);
+  }
+
+  void init_lanes() {
+    const cluster::ShardMap& map = cluster_.shard_map();
+    const std::size_t n = sim_.shard_count();
+    lane_ = std::vector<LaneState>(n);
+    // Equal split of the op budget over the shards of client-hosting DCs;
+    // the remainder goes to the lowest shard ids so totals match op_count
+    // exactly. (Per-DC plan: one lane per DC, the legacy split.)
     std::uint64_t active = 0;
-    for (std::size_t d = 0; d < dcs; ++d) {
-      if (cfg_.workload.client_dc < 0 ||
-          d == static_cast<std::size_t>(cfg_.workload.client_dc)) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (hosts_clients(map.dc_of_shard(static_cast<std::uint32_t>(s)))) {
         ++active;
       }
     }
     std::uint64_t handed = 0;
-    for (std::size_t d = 0; d < dcs; ++d) {
-      DcState& s = dc_[d];
-      s.op_rng = sim_.fork_rng(0x0FAB5EED + 0x9E37 * (d + 1));
+    for (std::size_t s = 0; s < n; ++s) {
+      LaneState& lane = lane_[s];
+      lane.dc = map.dc_of_shard(static_cast<std::uint32_t>(s));
+      lane.key_filter = map.shards_in_dc(lane.dc) > 1;
+      lane.op_rng = sim_.fork_rng(0x0FAB5EED + 0x9E37 * (s + 1));
       // Clone the already-built distribution instead of rebuilding: build()
-      // re-runs the O(record_count) zeta harmonic sums per DC, clone() just
-      // copies the finished constants (identical state either way).
-      s.request_dist = request_dist_->clone();
-      const bool hosts = cfg_.workload.client_dc < 0 ||
-                         d == static_cast<std::size_t>(cfg_.workload.client_dc);
-      if (hosts) {
-        s.ops_budget = cfg_.workload.op_count / active +
-                       (handed < cfg_.workload.op_count % active ? 1 : 0);
+      // re-runs the O(record_count) zeta harmonic sums per lane, clone()
+      // just copies the finished constants (identical state either way).
+      lane.request_dist = request_dist_->clone();
+      if (hosts_clients(lane.dc)) {
+        lane.ops_budget = cfg_.workload.op_count / active +
+                          (handed < cfg_.workload.op_count % active ? 1 : 0);
         ++handed;
       }
     }
+  }
+
+  /// Register the fence and schedule the typed tick event for the next
+  /// policy retuning instant (sharded runs; always called from setup or from
+  /// inside a fenced instant, never mid-window).
+  void arm_policy_tick(SimTime at) {
+    sim_.register_fence(at);
+    sim::TypedEvent ev;
+    ev.kind = sim::EventKind::kPolicyTick;
+    ev.target = static_cast<ClientEnv*>(this);
+    sim_.schedule_event_at(at, ev);
   }
 
   void begin_measurement() {
@@ -395,10 +498,12 @@ class Runner final : public ClientEnv {
     for (auto& s : sources_) s->set_measuring(true);
   }
 
-  /// One OpenLoopSource per client-hosting DC in place of the closed-loop
-  /// clients; each gets an equal share of the aggregate arrival rate, its
-  /// own RNG fork, a clone of the shared request distribution, and an
-  /// interleaved insert-key lane (see workload/open_loop.h).
+  /// One OpenLoopSource per shard of each client-hosting DC (one per DC
+  /// under the legacy per-DC plan) in place of the closed-loop clients; each
+  /// gets an equal share of the aggregate arrival rate (DC share split over
+  /// the DC's shards), its own RNG fork, a clone of the shared request
+  /// distribution, and an interleaved insert-key lane (see
+  /// workload/open_loop.h).
   void setup_open_loop() {
     const OpenLoopSpec& ol = cfg_.workload.open_loop;
     HARMONY_CHECK_MSG(cfg_.warmup < ol.duration,
@@ -406,32 +511,39 @@ class Runner final : public ClientEnv {
     const std::size_t dcs = cfg_.cluster.dc_count;
     std::size_t active = 0;
     for (std::size_t d = 0; d < dcs; ++d) {
-      if (cfg_.workload.client_dc < 0 ||
-          d == static_cast<std::size_t>(cfg_.workload.client_dc)) {
-        ++active;
-      }
+      if (hosts_clients(d)) ++active;
     }
     HARMONY_CHECK(active > 0);
     // One shared zeta computation for the million-user population; every
     // source copies the finished constants instead of re-summing O(users).
     const ScrambledZipfianKeys users(ol.user_count, ol.user_zipf_theta);
-    src_by_dc_.assign(dcs, nullptr);
+    const std::size_t lanes = deferred_ ? sim_.shard_count() : dcs;
+    src_by_lane_.assign(lanes, nullptr);
     for (std::size_t d = 0; d < dcs; ++d) {
-      if (cfg_.workload.client_dc >= 0 &&
-          d != static_cast<std::size_t>(cfg_.workload.client_dc)) {
-        continue;
+      if (!hosts_clients(d)) continue;
+      const std::uint32_t splits =
+          deferred_
+              ? cluster_.shard_map().shards_in_dc(static_cast<net::DcId>(d))
+              : 1;
+      for (std::uint32_t k = 0; k < splits; ++k) {
+        const std::size_t lane =
+            deferred_ ? cluster_.shard_map().shard_base(
+                            static_cast<net::DcId>(d)) + k
+                      : d;
+        sources_.push_back(std::make_unique<OpenLoopSource>(
+            *this, static_cast<net::DcId>(d), cfg_.workload,
+            ol.rate_per_s / static_cast<double>(active) /
+                static_cast<double>(splits),
+            /*insert_lane=*/lane, /*insert_stride=*/lanes,
+            sim_.fork_rng(0x01E27007 + 0x9E37 * (lane + 1)),
+            request_dist_->clone(), users,
+            static_cast<std::uint8_t>(deferred_ ? lane : 0)));
+        src_by_lane_[lane] = sources_.back().get();
+        if (deferred_) ++lane_[lane].clients;
       }
-      sources_.push_back(std::make_unique<OpenLoopSource>(
-          *this, static_cast<net::DcId>(d), cfg_.workload,
-          ol.rate_per_s / static_cast<double>(active),
-          /*insert_lane=*/d, /*insert_stride=*/dcs,
-          sim_.fork_rng(0x01E27007 + 0x9E37 * (d + 1)),
-          request_dist_->clone(), users));
-      src_by_dc_[d] = sources_.back().get();
-      if (deferred_) ++dc_[d].clients;
     }
     for (auto& s : sources_) {
-      sim_.set_setup_shard(deferred_ ? s->dc() : 0);
+      sim_.set_setup_shard(deferred_ ? s->shard() : 0);
       s->start();
     }
     sim_.set_setup_shard(0);
@@ -447,10 +559,10 @@ class Runner final : public ClientEnv {
     std::uint64_t completed = ops_completed_;
     std::uint64_t at_measure_start = ops_at_measure_start_;
     if (deferred_) {
-      // Merge the per-DC tallies; every shard is quiescent here (the run
-      // loop joined its workers before returning).
+      // Merge the per-shard lane tallies; every shard is quiescent here (the
+      // run loop joined its workers before returning).
       completed = at_measure_start = 0;
-      for (DcState& s : dc_) {
+      for (LaneState& s : lane_) {
         r.reads += s.reads;
         r.writes += s.writes;
         r.errors += s.errors;
@@ -462,6 +574,24 @@ class Runner final : public ClientEnv {
         completed += s.ops_completed;
         at_measure_start += s.ops_at_measure_start;
         if (s.finish_time > finish_time_) finish_time_ = s.finish_time;
+      }
+      if (cfg_.record_trace) {
+        // Stitch the per-shard trace buffers into the global serial issue
+        // order: each lane is already (time, seq)-sorted by construction, so
+        // one sort of the concatenation reproduces the merged stream
+        // byte-for-byte for every thread count.
+        if (r.trace == nullptr) r.trace = std::make_shared<Trace>();
+        std::vector<StampedTrace> all;
+        for (LaneState& s : lane_) {
+          all.insert(all.end(), s.trace.begin(), s.trace.end());
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const StampedTrace& a, const StampedTrace& b) {
+                    return a.rec.time != b.rec.time ? a.rec.time < b.rec.time
+                                                    : a.seq < b.seq;
+                  });
+        r.trace->records.reserve(r.trace->records.size() + all.size());
+        for (const StampedTrace& t : all) r.trace->records.push_back(t.rec);
       }
       // Per-read judgements are deferred past the client callback under
       // sharding; the oracle's whole-run aggregates are exact.
@@ -550,14 +680,15 @@ class Runner final : public ClientEnv {
   std::unique_ptr<policy::ConsistencyPolicy> policy_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<std::unique_ptr<OpenLoopSource>> sources_;
-  /// dc -> its open-loop source (nullptr for non-hosting DCs / closed loop);
-  /// the sharded warmup flip uses it to reach the shard's source.
-  std::vector<OpenLoopSource*> src_by_dc_;
+  /// lane (shard id when sharded, DC otherwise) -> its open-loop source
+  /// (nullptr for non-hosting lanes / closed loop); the sharded warmup flip
+  /// uses it to reach the shard's source.
+  std::vector<OpenLoopSource*> src_by_lane_;
   sim::PeriodicTimer policy_timer_;
-  /// True when the simulation runs per-DC shards (shard_count > 1): client
-  /// callbacks then use dc_ instead of the serial members below.
+  /// True when the simulation runs event shards (shard_count > 1): client
+  /// callbacks then use lane_ instead of the serial members below.
   bool deferred_ = false;
-  std::vector<DcState> dc_;
+  std::vector<LaneState> lane_;
 
   std::uint64_t ops_issued_ = 0;
   std::uint64_t ops_completed_ = 0;

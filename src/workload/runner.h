@@ -42,18 +42,39 @@ struct RunConfig {
 
   /// Sharded execution (the parallel perf path; see sim/shard.h and
   /// docs/INVARIANTS.md "Cross-shard determinism"): > 0 partitions the
-  /// simulation into one event shard per DC driven by this many worker
-  /// threads. Any thread count reproduces the same (time, seq) merge, and
-  /// `1` runs it merged-serial on the calling thread. Requires
-  /// cluster.latency.cross_dc.floor > 0 — that floor is the conservative
-  /// lookahead. With dc_count > 1 the cross-shard singletons are disabled:
-  /// no monitor attachment (final_state stays empty), no policy retuning
-  /// ticks (the policy's initial requirement holds for the whole run), no
-  /// trace recording, no legacy `faults` list (use `fault_schedule`), and no
-  /// client DC re-routing; staleness counters come from the deferred
-  /// oracle's whole-run aggregates instead of per-read judgements.
+  /// simulation into shards_per_dc event shards per DC driven by this many
+  /// worker threads. Any thread count reproduces the same (time, seq)
+  /// merge, and `1` runs it merged-serial on the calling thread. Requires
+  /// cluster.latency.cross_dc.floor > 0 — and, with shards_per_dc > 1, also
+  /// positive same_rack/same_dc floors: the conservative lookahead is the
+  /// minimum over every floor a cross-shard hop can ride.
+  ///
+  /// Sharded semantic deltas (each deterministic across thread counts):
+  ///   * the monitor attaches and policy retuning ticks run, but both are
+  ///     fed from per-shard logs replayed in (time, seq) order at window
+  ///     barriers / fenced instants — op timestamps are exact, ticks land
+  ///     on the fence grid;
+  ///   * record_trace captures into per-shard buffers stitched by
+  ///     (time, seq) at collect — the merged trace is byte-identical for
+  ///     every thread count;
+  ///   * per-read ReadResult::stale stays false (the deferred oracle judges
+  ///     at barriers); staleness counters come from the oracle's whole-run
+  ///     aggregates;
+  ///   * the legacy `faults` closure list is rejected (use `fault_schedule`,
+  ///     whose instants are fenced) and client DC re-routing is rejected
+  ///     (coordinators must stay in the request's shard).
   /// 0 (default) = classic serial unsharded execution.
   unsigned num_shard_threads = 0;
+
+  /// Key-range shards per DC (sharded runs only; ignored when
+  /// num_shard_threads == 0). 1 (default) keeps the legacy one-shard-per-DC
+  /// layout. With S > 1 every DC's token space splits into S contiguous
+  /// ranges (cluster/shard_map.h): each shard owns the nodes dealt to it,
+  /// the keys hashing into its range, and a full workload lane (clients or
+  /// an open-loop source, RNG fork, key distribution clone, insert lane) —
+  /// that is how a single-DC topology scales past one worker thread.
+  /// Requires every DC to have >= shards_per_dc nodes.
+  unsigned shards_per_dc = 1;
 
   /// Scheduled failure injection: kill/revive nodes mid-run (availability
   /// experiments; revival replays hints).

@@ -993,6 +993,244 @@ TEST(RequestPathDiff, ShardedTinyMailboxBackpressureIsDeterministic) {
   }
 }
 
+// --------------------------------------------------- key-range sharding diff
+
+/// Options for one key-range-sharded scenario (run_key_range_schedule).
+struct KeyRangeOpts {
+  unsigned threads = 1;
+  std::uint32_t shards = 4;  ///< key-range shards inside DC 0
+  bool second_dc = false;    ///< add a single-shard DC 1 (mixed plan)
+  bool anti_entropy = false; ///< fenced per-shard sweeps (lifted restriction)
+  bool faults = false;       ///< fenced kill/revive inside the split DC
+};
+
+/// One scenario with DC 0 split into `shards` key-range shards. Traffic is
+/// routed the way the workload layer does it: every operation is issued from
+/// home_shard(dc, key), so replicas of a key routinely live on *other*
+/// shards of the same DC and the write fan-out crosses shards intra-DC. The
+/// lookahead is the intra-DC floor (well under cross_dc), so windows are
+/// short and the intra-DC legs ride the mailbox constantly. threads == 1 is
+/// the merged-serial reference; every other thread count must reproduce its
+/// fingerprint bit for bit.
+ClusterRunResult run_key_range_schedule(std::uint64_t seed,
+                                        const KeyRangeOpts& opts) {
+  Rng setup(seed);
+  sim::Simulation sim(seed);
+
+  cluster::ClusterConfig cfg;
+  cfg.dc_count = opts.second_dc ? 2 : 1;
+  const std::size_t per_dc = 2 * opts.shards;  // two coordinator candidates
+  cfg.node_count = cfg.dc_count * per_dc;      // per shard, kills included
+  cfg.use_nts = true;
+  cfg.rf = 3;
+  // Intra-DC hops now cross shards, so the conservative lookahead is the
+  // *intra*-DC floor — the floors must cover it (the cluster ctor enforces
+  // this), and cross-DC keeps its own larger floor.
+  const SimDuration lookahead = usec(150);
+  cfg.latency.same_rack.floor = lookahead;
+  cfg.latency.same_dc.floor = lookahead;
+  cfg.latency.cross_dc.base = 2 * kMillisecond;
+  cfg.latency.cross_dc.floor = kMillisecond;
+  if (setup.chance(0.3)) cfg.request_timeout = 30 * kMillisecond;
+  if (opts.anti_entropy) cfg.anti_entropy_period = 50 * kMillisecond;
+
+  std::vector<std::uint32_t> plan{opts.shards};
+  if (opts.second_dc) plan.push_back(1);  // mixed plan: split DC + legacy DC
+  sim.configure_shards(plan, lookahead, opts.threads);
+  cluster::Cluster c(sim, cfg);
+
+  DiffSink sink;
+  c.oracle().set_trace_sink(&sink);
+
+  const std::uint64_t key_count = 60 + setup.uniform_u64(120);
+  c.preload_range(key_count / 2, 256);
+
+  const SimTime horizon = kSecond;
+  if (opts.faults) {
+    // Kill/revive one node per key-range shard of DC 0 (each shard keeps a
+    // second coordinator candidate alive); the fault instants are fences, so
+    // the windowed executor splits mid-lookahead around them.
+    for (std::uint32_t s = 0; s < opts.shards; ++s) {
+      const auto victim = static_cast<net::NodeId>(
+          s + opts.shards * setup.uniform_u64(2));
+      const SimTime down = static_cast<SimTime>(
+          50 * kMillisecond + setup.uniform_u64(horizon / 2));
+      const auto outage = static_cast<SimDuration>(
+          50 * kMillisecond + setup.uniform_u64(200 * kMillisecond));
+      c.schedule_fault({down, cluster::FaultOp::kKillNode, victim, 0, 1.0});
+      c.schedule_fault(
+          {down + outage, cluster::FaultOp::kReviveNode, victim, 0, 1.0});
+    }
+  }
+
+  // One traffic context per shard, touched only by that shard's events.
+  std::vector<DcCtx> ctx(sim.shard_count());
+  Rng traffic(mix(kFnvOffset, seed * 16 + opts.shards));
+  const int ops = 400 + static_cast<int>(traffic.uniform_u64(400));
+  for (int i = 0; i < ops; ++i) {
+    const SimTime at = static_cast<SimTime>(traffic.uniform_u64(horizon));
+    const cluster::Key key = traffic.uniform_u64(key_count);
+    const auto dc = static_cast<net::DcId>(
+        opts.second_dc && traffic.chance(0.3) ? 1 : 0);
+    const int k = 1 + static_cast<int>(traffic.uniform_u64(
+                          static_cast<std::uint64_t>(cfg.rf)));
+    cluster::ReplicaRequirement req = cluster::resolve_count(k, cfg.rf);
+    if (traffic.uniform() < 0.2) {
+      req = cluster::resolve(cluster::Level::kLocalQuorum, cfg.rf,
+                             cfg.local_rf(dc));
+    }
+    const bool is_write = traffic.chance(0.4);
+    const bool storm = traffic.chance(0.02);
+    // The workload-layer routing rule: the op lives on its key's home shard
+    // within the issuing DC. Its callback and counters stay there too.
+    const std::uint32_t shard = c.home_shard(dc, key);
+    sim.set_setup_shard(shard);
+    DcCtx& cx = ctx[shard];
+    ++cx.issued;
+    const int rf = cfg.rf;
+    sim.schedule_at(at, [&c, &cx, key, dc, req, is_write, storm, rf] {
+      if (is_write) {
+        c.client_write(dc, key, 512, req,
+                       [&cx](const cluster::WriteResult& w) {
+                         ++cx.completed;
+                         cx.fp = mix(cx.fp, w.ok ? 2u : 3u);
+                         cx.fp = mix(cx.fp, static_cast<std::uint64_t>(
+                                                w.version.timestamp));
+                       });
+        if (storm) {
+          // Same-key CL=ONE burst: every leg fans out to replicas on other
+          // shards of the DC within one short intra-DC window.
+          for (int s = 0; s < 15; ++s) {
+            ++cx.issued;
+            c.client_write(dc, key, 128, cluster::resolve_count(1, rf),
+                           [&cx](const cluster::WriteResult& w) {
+                             ++cx.completed;
+                             cx.fp = mix(cx.fp, w.ok ? 2u : 3u);
+                           });
+          }
+        }
+      } else {
+        c.client_read(dc, key, req, [&cx](const cluster::ReadResult& r) {
+          ++cx.completed;
+          cx.fp = mix(cx.fp, (r.ok ? 1u : 0u) | (r.found ? 2u : 0u) |
+                                 (r.shed ? 4u : 0u));
+          cx.fp = mix(cx.fp, static_cast<std::uint64_t>(r.version.timestamp));
+          cx.fp = mix(cx.fp, r.version.seq);
+          cx.fp = mix(cx.fp, r.value_size);
+          cx.fp = mix(cx.fp,
+                      static_cast<std::uint64_t>(r.replicas_contacted));
+        });
+      }
+    });
+  }
+  sim.set_setup_shard(0);
+
+  sim.run();
+
+  std::uint64_t fp = sink.fp;
+  for (std::size_t s = 0; s < ctx.size(); ++s) {
+    EXPECT_EQ(ctx[s].completed, ctx[s].issued)
+        << "seed " << seed << " shard " << s << " threads " << opts.threads;
+    fp = mix(fp, ctx[s].issued);
+    fp = mix(fp, ctx[s].fp);
+  }
+  EXPECT_EQ(sink.mismatches, 0)
+      << "seed " << seed
+      << ": merged oracle log diverged from the reference model";
+  EXPECT_EQ(c.oracle().inflight_reads(), 0u) << "seed " << seed;
+  EXPECT_EQ(c.oracle().fresh_reads(), sink.ref.fresh_reads())
+      << "seed " << seed;
+  EXPECT_EQ(c.oracle().stale_reads(), sink.ref.stale_reads())
+      << "seed " << seed;
+
+  fp = mix(fp, c.oracle().fresh_reads());
+  fp = mix(fp, c.oracle().stale_reads());
+  fp = mix(fp, c.timeouts());
+  fp = mix(fp, c.unavailable());
+  fp = mix(fp, c.anti_entropy_repairs());
+  fp = mix(fp, c.hints_stored());
+  fp = mix(fp, c.hints_replayed());
+  fp = mix(fp, c.replica_ops());
+  fp = mix(fp, c.read_repairs_sent());
+  fp = mix(fp, c.net_stats().total_bytes());
+
+  ClusterRunResult out;
+  out.fingerprint = fp;
+  out.events = sim.events_processed();
+  out.end_time = sim.now();
+  out.spills = sim.mailbox_spills();
+  return out;
+}
+
+/// Run one key-range scenario at 1, 2, 4, and 8 threads and assert every
+/// parallel execution reproduces the merged-serial reference bit for bit.
+void assert_key_range_thread_invariance(std::uint64_t seed, KeyRangeOpts opts) {
+  opts.threads = 1;
+  const ClusterRunResult serial = run_key_range_schedule(seed, opts);
+  EXPECT_FALSE(::testing::Test::HasFailure())
+      << "key-range serial reference diverged at seed " << seed;
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    opts.threads = threads;
+    const ClusterRunResult par = run_key_range_schedule(seed, opts);
+    EXPECT_FALSE(::testing::Test::HasFailure())
+        << "key-range run diverged at seed " << seed << " threads " << threads;
+    EXPECT_EQ(serial.fingerprint, par.fingerprint)
+        << "key-range sharded run diverged from serial reference, seed "
+        << seed << " threads " << threads;
+    EXPECT_EQ(serial.events, par.events)
+        << "seed " << seed << " threads " << threads;
+    EXPECT_EQ(serial.end_time, par.end_time)
+        << "seed " << seed << " threads " << threads;
+  }
+}
+
+TEST(RequestPathDiff, KeyRangeShardedByteIdenticalAcrossThreadCounts) {
+  // A single DC split into 4 key-range shards: the scaling shape PR 8 could
+  // not express (its shard count was pinned to the DC count). 1, 2, 4, and
+  // 8 worker threads must all reproduce the merged-serial reference.
+  std::uint64_t schedules = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    KeyRangeOpts opts;
+    opts.shards = (i % 2) == 0 ? 4 : 3;
+    opts.faults = i >= 2;
+    assert_key_range_thread_invariance(0x4EE7A6E0ULL + i, opts);
+    ASSERT_FALSE(::testing::Test::HasFailure())
+        << "key-range diff diverged at seed " << 0x4EE7A6E0ULL + i;
+    ++schedules;
+  }
+  std::printf("[diff] key-range sharded schedules: %llu\n",
+              (unsigned long long)schedules);
+}
+
+TEST(RequestPathDiff, KeyRangeShardedAntiEntropyByteIdentical) {
+  // Anti-entropy used to be rejected under sharding; sweeps now run
+  // per-shard at fenced instants with a cross-shard dedup of deferred dirty
+  // keys. The repair stream (and everything downstream of it) must still be
+  // byte-identical across thread counts.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    KeyRangeOpts opts;
+    opts.anti_entropy = true;
+    opts.faults = (i % 2) == 1;  // outages make hints + dirty keys pile up
+    assert_key_range_thread_invariance(0xAE5EE0ULL + i, opts);
+    ASSERT_FALSE(::testing::Test::HasFailure())
+        << "key-range anti-entropy diff diverged at seed " << 0xAE5EE0ULL + i;
+  }
+}
+
+TEST(RequestPathDiff, KeyRangeShardedMixedPlanByteIdentical) {
+  // Mixed plan: DC 0 splits into 4 shards, DC 1 keeps the legacy one-shard
+  // layout. Cross-DC replication legs and intra-DC cross-shard legs coexist
+  // under the intra-DC lookahead floor.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    KeyRangeOpts opts;
+    opts.second_dc = true;
+    opts.anti_entropy = (i % 2) == 1;
+    assert_key_range_thread_invariance(0x3D1A6ULL + i, opts);
+    ASSERT_FALSE(::testing::Test::HasFailure())
+        << "mixed-plan diff diverged at seed " << 0x3D1A6ULL + i;
+  }
+}
+
 TEST(RequestPathDiff, ShardedEmptyShardStaysIdleAndDeterministic) {
   // rf == 2 (NTS split [1, 1, 0]) with DC 2's clients silenced: shard 2 owns
   // nodes but processes zero events all run. The window loop must neither

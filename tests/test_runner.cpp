@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "core/harmony.h"
 #include "core/static_policy.h"
 
 namespace harmony::workload {
@@ -214,13 +215,131 @@ TEST(Runner, ShardedRunRejectsCrossShardSingletons) {
   with_faults.faults.push_back({100 * kMillisecond, 0, true});
   EXPECT_THROW(run_experiment(with_faults), CheckError);
 
-  auto with_trace = sharded_run(2, 1000);
-  with_trace.record_trace = true;
-  EXPECT_THROW(run_experiment(with_trace), CheckError);
-
   auto no_floor = sharded_run(2, 1000);
   no_floor.cluster.latency.cross_dc.floor = 0;
   EXPECT_THROW(run_experiment(no_floor), CheckError);
+}
+
+TEST(Runner, ShardedTraceCaptureMatchesSerial) {
+  // record_trace used to be rejected under sharding; it now captures into
+  // per-shard buffers stitched by (time, seq) at collect. The merged trace
+  // must be byte-identical to the merged-serial reference for every thread
+  // count.
+  auto make = [](unsigned threads) {
+    auto cfg = sharded_run(threads, 2000);
+    cfg.record_trace = true;
+    return cfg;
+  };
+  const auto serial = run_experiment(make(1));
+  const auto four = run_experiment(make(4));
+  ASSERT_NE(serial.trace, nullptr);
+  ASSERT_NE(four.trace, nullptr);
+  ASSERT_EQ(serial.trace->records.size(), four.trace->records.size());
+  EXPECT_GT(serial.trace->records.size(), 1000u);
+  for (std::size_t i = 0; i < serial.trace->records.size(); ++i) {
+    const auto& a = serial.trace->records[i];
+    const auto& b = four.trace->records[i];
+    ASSERT_EQ(a.time, b.time) << "trace diverges at record " << i;
+    ASSERT_EQ(a.op, b.op) << "trace diverges at record " << i;
+    ASSERT_EQ(a.key, b.key) << "trace diverges at record " << i;
+    ASSERT_EQ(a.value_size, b.value_size) << "trace diverges at record " << i;
+  }
+}
+
+// ---- key-range sharding (RunConfig::shards_per_dc) --------------------------
+
+/// Single-DC run split into `shards` key-range shards: the configuration
+/// PR 8 could not parallelize at all (one DC == one shard == one thread).
+RunConfig key_range_run(unsigned threads, unsigned shards,
+                        std::uint64_t ops = 6000) {
+  RunConfig cfg = small_run(ops);
+  cfg.cluster.dc_count = 1;
+  cfg.cluster.node_count = 8;
+  cfg.cluster.latency.cross_dc.floor = kMillisecond;
+  // Intra-DC hops cross shards now, so the intra-DC floors must cover the
+  // lookahead (the runner takes the min over all three).
+  cfg.cluster.latency.same_rack.floor = usec(150);
+  cfg.cluster.latency.same_dc.floor = usec(150);
+  cfg.workload.clients_per_dc = 8;
+  cfg.num_shard_threads = threads;
+  cfg.shards_per_dc = shards;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(Runner, KeyRangeShardedRunIsThreadCountInvariant) {
+  const auto serial = run_experiment(key_range_run(1, 4));
+  const auto two = run_experiment(key_range_run(2, 4));
+  const auto four = run_experiment(key_range_run(4, 4));
+  EXPECT_GT(serial.reads, 1000u);
+  EXPECT_EQ(serial.errors, 0u);
+  expect_same_run(serial, two);
+  expect_same_run(serial, four);
+  EXPECT_EQ(serial.mailbox_spills, 0u);
+}
+
+TEST(Runner, KeyRangeShardedInsertWorkloadIsThreadCountInvariant) {
+  auto make = [](unsigned threads) {
+    auto cfg = key_range_run(threads, 4, 4000);
+    cfg.workload = WorkloadSpec::ycsb_d();  // insert-heavy: skip-scan lanes
+    cfg.workload.op_count = 4000;
+    cfg.workload.record_count = 500;
+    cfg.workload.clients_per_dc = 8;
+    return cfg;
+  };
+  const auto serial = run_experiment(make(1));
+  const auto four = run_experiment(make(4));
+  EXPECT_GT(serial.writes, 0u);
+  EXPECT_EQ(serial.errors, 0u);
+  expect_same_run(serial, four);
+}
+
+TEST(Runner, KeyRangeShardedMonitorFeedsAdaptivePolicy) {
+  // The lifted restrictions working together: the monitor attaches to a
+  // sharded run (fed from per-shard logs merged at barriers), the Harmony
+  // policy re-tunes at fenced ticks, and anti-entropy sweeps per shard —
+  // all byte-identical across thread counts, including the policy's level
+  // decisions (read_level_usage) and the monitor-driven staleness results.
+  auto make = [](unsigned threads) {
+    auto cfg = key_range_run(threads, 4);
+    cfg.policy = core::harmony_policy(0.2);
+    cfg.policy_tick = 100 * kMillisecond;
+    cfg.cluster.anti_entropy_period = 200 * kMillisecond;
+    return cfg;
+  };
+  const auto serial = run_experiment(make(1));
+  const auto four = run_experiment(make(4));
+  expect_same_run(serial, four);
+  ASSERT_FALSE(serial.read_level_usage.empty());
+  ASSERT_EQ(serial.read_level_usage.size(), four.read_level_usage.size());
+  for (const auto& [level, count] : serial.read_level_usage) {
+    EXPECT_EQ(four.read_level_usage.at(level), count) << "level " << level;
+  }
+  EXPECT_EQ(serial.policy_switches, four.policy_switches);
+  // The monitor really saw traffic: its final state drives the paper's
+  // estimators, so a silently-empty monitor would pass expect_same_run.
+  EXPECT_GT(serial.final_state.read_rate, 0.0);
+  EXPECT_DOUBLE_EQ(serial.final_state.read_rate, four.final_state.read_rate);
+  EXPECT_DOUBLE_EQ(serial.final_state.write_rate, four.final_state.write_rate);
+}
+
+TEST(Runner, ShardedPerDcMonitorPolicyAntiEntropyThreadInvariant) {
+  // The same lifted restrictions on the PR 8 per-DC layout (3 DCs, one
+  // shard each): monitor, fenced Harmony policy ticks, and per-shard
+  // anti-entropy, byte-identical between merged-serial and 4 threads.
+  auto make = [](unsigned threads) {
+    auto cfg = sharded_run(threads);
+    cfg.policy = core::harmony_policy(0.2);
+    cfg.policy_tick = 100 * kMillisecond;
+    cfg.cluster.anti_entropy_period = 200 * kMillisecond;
+    return cfg;
+  };
+  const auto serial = run_experiment(make(1));
+  const auto four = run_experiment(make(4));
+  expect_same_run(serial, four);
+  EXPECT_EQ(serial.policy_switches, four.policy_switches);
+  EXPECT_GT(serial.final_state.read_rate, 0.0);
+  EXPECT_DOUBLE_EQ(serial.final_state.read_rate, four.final_state.read_rate);
 }
 
 TEST(Runner, ShardedFaultScheduleIsThreadCountInvariant) {
